@@ -1,0 +1,83 @@
+// Command iobound prints the communication bounds of the paper for a
+// sweep of problem sizes, cache sizes, and processor counts.
+//
+// Usage:
+//
+//	iobound [-alg strassen] [-n 4096] [-m 1024] [-p 1]
+//	iobound -table ms   # sweep cache sizes at fixed n
+//	iobound -table ns   # sweep problem sizes at fixed M
+//	iobound -table ps   # sweep processor counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/bounds"
+)
+
+var (
+	algName = flag.String("alg", "strassen", "algorithm name from the catalog")
+	n       = flag.Float64("n", 4096, "matrix dimension")
+	m       = flag.Float64("m", 1024, "fast memory size in words")
+	p       = flag.Int("p", 1, "processor count")
+	table   = flag.String("table", "", "sweep: ms, ns, or ps")
+)
+
+func findAlg(name string) *bilinear.Algorithm {
+	for _, alg := range bilinear.All() {
+		if alg.Name == name {
+			return alg
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown algorithm %q; available:", name)
+	for _, alg := range bilinear.All() {
+		fmt.Fprintf(os.Stderr, " %s", alg.Name)
+	}
+	fmt.Fprintln(os.Stderr)
+	os.Exit(2)
+	return nil
+}
+
+func row(alg *bilinear.Algorithm, n, m float64, p int) {
+	w := alg.Omega0()
+	fmt.Printf("%-10.0f %-10.0f %-5d %-14.4g %-14.4g %-14.4g %-14.4g\n",
+		n, m, p,
+		bounds.Theorem1Parallel(w, n, m, p),
+		bounds.MemoryIndependent(w, n, p),
+		bounds.HongKungClassical(n, m)/float64(p),
+		bounds.DFSUpperBound(alg, n, m)/float64(p))
+}
+
+func main() {
+	flag.Parse()
+	alg := findAlg(*algName)
+	fmt.Printf("algorithm %s: n0=%d, b=%d, ω₀=%.4f, fast=%v\n",
+		alg.Name, alg.N0, alg.B(), alg.Omega0(), alg.IsFast())
+	fmt.Printf("%-10s %-10s %-5s %-14s %-14s %-14s %-14s\n",
+		"n", "M", "P", "Thm1 LB", "mem-indep LB", "classical LB", "DFS UB")
+	switch *table {
+	case "":
+		row(alg, *n, *m, *p)
+	case "ms":
+		for mm := 64.0; mm <= *n**n; mm *= 4 {
+			row(alg, *n, mm, *p)
+		}
+	case "ns":
+		for nn := 64.0; nn <= *n; nn *= 2 {
+			row(alg, nn, *m, *p)
+		}
+	case "ps":
+		for pp := 1; pp <= 1<<16; pp *= 4 {
+			row(alg, *n, *m, pp)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q (want ms, ns, or ps)\n", *table)
+		os.Exit(2)
+	}
+	if x := bounds.CrossoverN(alg.Omega0(), *m); x > 0 {
+		fmt.Printf("classical/fast bound crossover at n ≈ %.0f for M = %.0f\n", x, *m)
+	}
+}

@@ -1,0 +1,229 @@
+// Command ladsearch reconstructs uncertain coefficient rows of Laderman's
+// 23-multiplication 3×3 algorithm. Given the product encodings (U, V)
+// with some rows possibly misremembered, it searches candidate rows over
+// {-1,0,1}^9 for which the 23 rank-one tensors span 3×3 matrix
+// multiplication (checked by modular Gaussian elimination, then confirmed
+// exactly by the rational solver in internal/bilinear).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+const p = 2147483647
+
+func mod(x int64) uint64 {
+	m := x % p
+	if m < 0 {
+		m += p
+	}
+	return uint64(m)
+}
+
+func modInv(a uint64) uint64 {
+	// Fermat.
+	var r uint64 = 1
+	b := a
+	e := uint64(p - 2)
+	for e > 0 {
+		if e&1 == 1 {
+			r = r * b % p
+		}
+		b = b * b % p
+		e >>= 1
+	}
+	return r
+}
+
+// consistent reports whether the 81×(23+9) system U⊗V·w = targets is
+// solvable mod p. u and v are 23×9 integer coefficient rows.
+func consistent(u, v [][]int64) bool { return consistentSkippingE(u, v, -1) }
+
+// consistentSkippingE is consistent but ignores system rows whose A-entry
+// index equals skipE (pass -1 to keep all rows).
+func consistentSkippingE(u, v [][]int64, skipE int) bool {
+	const nA = 9
+	cols := 23 + 9
+	m := make([][]uint64, 0, nA*nA)
+	for e := 0; e < nA; e++ {
+		if e == skipE {
+			continue
+		}
+		re, ce := e/3, e%3
+		for f := 0; f < nA; f++ {
+			rf, cf := f/3, f%3
+			row := make([]uint64, cols)
+			for t := 0; t < 23; t++ {
+				row[t] = mod(u[t][e]) * mod(v[t][f]) % p
+			}
+			if ce == rf {
+				row[23+re*3+cf] = 1
+			}
+			m = append(m, row)
+		}
+	}
+	rows := len(m)
+	// Gaussian elimination over the first 23 columns.
+	r := 0
+	for c := 0; c < 23 && r < rows; c++ {
+		pr := -1
+		for i := r; i < rows; i++ {
+			if m[i][c] != 0 {
+				pr = i
+				break
+			}
+		}
+		if pr < 0 {
+			continue
+		}
+		m[r], m[pr] = m[pr], m[r]
+		inv := modInv(m[r][c])
+		for j := c; j < cols; j++ {
+			m[r][j] = m[r][j] * inv % p
+		}
+		for i := 0; i < rows; i++ {
+			if i != r && m[i][c] != 0 {
+				f := m[i][c]
+				for j := c; j < cols; j++ {
+					m[i][j] = (m[i][j] + p - f*m[r][j]%p) % p
+				}
+			}
+		}
+		r++
+	}
+	for i := r; i < rows; i++ {
+		for j := 23; j < cols; j++ {
+			if m[i][j] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func candidates() [][]int64 {
+	out := make([][]int64, 0, 19683)
+	var rec func(row []int64)
+	rec = func(row []int64) {
+		if len(row) == 9 {
+			cp := make([]int64, 9)
+			copy(cp, row)
+			out = append(out, cp)
+			return
+		}
+		for _, c := range []int64{0, 1, -1} {
+			rec(append(row, c))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+func toInts(rows [][]rat.Rat) [][]int64 {
+	out := make([][]int64, len(rows))
+	for i, r := range rows {
+		out[i] = make([]int64, len(r))
+		for j, c := range r {
+			if !c.IsInt() {
+				panic("non-integer coefficient")
+			}
+			out[i][j] = c.Num()
+		}
+	}
+	return out
+}
+
+func confirm(u, v [][]int64) bool {
+	ru := make([][]rat.Rat, len(u))
+	rv := make([][]rat.Rat, len(v))
+	for t := range u {
+		ru[t] = make([]rat.Rat, 9)
+		rv[t] = make([]rat.Rat, 9)
+		for e := 0; e < 9; e++ {
+			ru[t][e] = rat.Int(u[t][e])
+			rv[t][e] = rat.Int(v[t][e])
+		}
+	}
+	w, err := bilinear.SolveDecoder(3, ru, rv)
+	if err != nil {
+		return false
+	}
+	alg := &bilinear.Algorithm{Name: "laderman-candidate", N0: 3, U: ru, V: rv, W: w}
+	return alg.Validate() == nil
+}
+
+func fmtRow(r []int64) string {
+	s := ""
+	names := []string{"b11", "b12", "b13", "b21", "b22", "b23", "b31", "b32", "b33"}
+	for i, c := range r {
+		switch c {
+		case 1:
+			s += "+" + names[i]
+		case -1:
+			s += "-" + names[i]
+		}
+	}
+	return s
+}
+
+func main() {
+	u, v := bilinear.LadermanProducts()
+	ui, vi := toInts(u), toInts(v)
+
+	if consistent(ui, vi) {
+		fmt.Println("base products already consistent")
+		return
+	}
+
+	cands := candidates()
+	// Products whose V rows are uncertain (0-based): m3 -> 2, m11 -> 10,
+	// m12 -> 11, m16 -> 15.
+	uncertain := []int{2, 10, 11, 15}
+
+	// Single-row search.
+	for _, t := range uncertain {
+		orig := vi[t]
+		for _, c := range cands {
+			vi[t] = c
+			if consistent(ui, vi) && confirm(ui, vi) {
+				fmt.Printf("FOUND single: m%d V row = %v  (%s)\n", t+1, c, fmtRow(c))
+				return
+			}
+		}
+		vi[t] = orig
+	}
+	fmt.Println("no single-row fix; trying pairs (m3, m11)")
+
+	// Pair search over the two most uncertain rows (m3, m11) with
+	// pruning. m11's left operand is the bare entry a32 (e = 7), so its
+	// rank-one term only touches system rows with e = 7; the system
+	// restricted to e != 7 must already be consistent for the right m3
+	// row. That restriction filters m3 candidates cheaply.
+	o3, o11 := vi[2], vi[10]
+	var survivors [][]int64
+	for _, c3 := range cands {
+		vi[2] = c3
+		if consistentSkippingE(ui, vi, 7) {
+			survivors = append(survivors, c3)
+		}
+	}
+	fmt.Printf("m3 survivors: %d\n", len(survivors))
+	for _, c3 := range survivors {
+		vi[2] = c3
+		for _, c11 := range cands {
+			vi[10] = c11
+			if consistent(ui, vi) && confirm(ui, vi) {
+				fmt.Printf("FOUND pair:\n  m3  V row = %v (%s)\n  m11 V row = %v (%s)\n",
+					c3, fmtRow(c3), c11, fmtRow(c11))
+				return
+			}
+		}
+	}
+	vi[2], vi[10] = o3, o11
+	fmt.Println("no fix found")
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package pathrouting_test
+
+import (
+	"fmt"
+
+	"pathrouting"
+)
+
+// The catalog algorithms are verified bilinear algorithms; their
+// exponents drive every bound in the library.
+func ExampleStrassen() {
+	alg := pathrouting.Strassen()
+	fmt.Printf("%s: %d multiplications, omega0 = %.3f\n", alg.Name, alg.B(), alg.Omega0())
+	// Output: strassen: 7 multiplications, omega0 = 2.807
+}
+
+// SequentialLowerBound evaluates the paper's Theorem 1 in its Θ-form.
+func ExampleSequentialLowerBound() {
+	lb := pathrouting.SequentialLowerBound(pathrouting.Strassen(), 4096, 4096)
+	fmt.Printf("%.3g words\n", lb)
+	// Output: 4.82e+08 words
+}
+
+// VerifyRoutingTheorem constructs the paper's central object — the
+// 6aᵏ-routing of Theorem 2 — and verifies it exactly.
+func ExampleVerifyRoutingTheorem() {
+	st, err := pathrouting.VerifyRoutingTheorem(pathrouting.Strassen(), 2)
+	if err != nil {
+		fmt.Println("verification failed:", err)
+		return
+	}
+	fmt.Printf("%d paths, max hits %d <= bound %d\n", st.NumPaths, st.MaxVertexHits, st.Bound)
+	// Output: 512 paths, max hits 72 <= bound 96
+}
+
+// MeasureIO runs the red-blue pebble game on an explicit computation
+// DAG. With a cache big enough for everything, only the compulsory
+// traffic remains: 2n² reads, n² writes.
+func ExampleMeasureIO() {
+	res, err := pathrouting.MeasureIO(pathrouting.Strassen(), 3, 1<<20,
+		pathrouting.MIN, pathrouting.ScheduleDFS)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("reads=%d writes=%d\n", res.Reads, res.Writes)
+	// Output: reads=128 writes=64
+}
+
+// AnalyzeExpansion shows the paper's motivation: the prior
+// edge-expansion technique fails on fast algorithms with disconnected
+// decoding graphs.
+func ExampleAnalyzeExpansion() {
+	rep := pathrouting.AnalyzeExpansion(pathrouting.DisconnectedFast())
+	fmt.Printf("decoding connected: %v, edge expansion usable: %v\n",
+		rep.DecodingConnected, rep.EdgeExpansionUsable)
+	// Output: decoding connected: false, edge expansion usable: false
+}

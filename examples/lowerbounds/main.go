@@ -1,0 +1,51 @@
+// Lower bounds in action: the I/O of real schedules sandwiched between
+// the paper's lower bound and the blocked-recursion upper bound, and
+// the price of ignoring locality.
+//
+//	go run ./examples/lowerbounds
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pathrouting"
+)
+
+func main() {
+	alg := pathrouting.Strassen()
+	m := 48
+
+	fmt.Println("Strassen-like I/O versus the Theorem 1 bound (M = 48 words):")
+	fmt.Printf("%-4s %-6s | %-12s %-12s %-12s | %-10s %-10s\n",
+		"r", "n", "LB (Thm 1)", "DFS+MIN", "UB (DFS)", "rank+MIN", "DFS/LB")
+	for r := 2; r <= 5; r++ {
+		n := math.Pow(2, float64(r))
+		lb := pathrouting.SequentialLowerBound(alg, n, float64(m))
+		ub := pathrouting.DFSUpperBound(alg, n, float64(m))
+		dfs, err := pathrouting.MeasureIO(alg, r, m, pathrouting.MIN, pathrouting.ScheduleDFS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rank, err := pathrouting.MeasureIO(alg, r, m, pathrouting.MIN, pathrouting.ScheduleRankByRank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-6.0f | %-12.0f %-12d %-12.0f | %-10d %-10.2f\n",
+			r, n, lb, dfs.IO(), ub, rank.IO(), float64(dfs.IO())/lb)
+	}
+
+	fmt.Println("\nTakeaways:")
+	fmt.Println(" * DFS+MIN I/O grows like b^r = n^ω₀ — the bound's shape — while")
+	fmt.Println("   the rank-by-rank schedule degenerates toward |V(G_r)| ~ n^ω₀ with a")
+	fmt.Println("   much larger constant once layers stop fitting in cache.")
+	fmt.Println(" * No schedule can beat the lower bound: that is Theorem 1,")
+	fmt.Println("   machine-checked in this repository by internal/core.Certify.")
+
+	fmt.Println("\nClassical vs fast, by bound (who moves fewer words):")
+	fmt.Printf("%-8s %-12s\n", "M", "crossover n")
+	for _, mm := range []float64{256, 4096, 65536} {
+		fmt.Printf("%-8.0f %-12.0f\n", mm, pathrouting.CrossoverN(alg, mm))
+	}
+}

@@ -1,0 +1,62 @@
+// Parallel scaling: the bandwidth cost of classical (Cannon, 2.5D) and
+// Strassen-like (CAPS) distributed matrix multiplication against the
+// parallel lower bounds of Theorem 1.
+//
+//	go run ./examples/parallelscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathrouting"
+)
+
+func main() {
+	n := 4096
+	alg := pathrouting.Strassen()
+
+	fmt.Printf("n = %d, words on the critical path:\n", n)
+	fmt.Printf("%-12s %-8s %-14s %-14s %-14s\n", "algorithm", "P", "bandwidth", "mem/proc", "lower bound")
+
+	for _, p := range []int{8, 16, 32} {
+		res, err := pathrouting.RunCannon(n, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-8d %-14d %-14d %-14.0f\n",
+			"cannon", res.P, res.Bandwidth, res.MemoryPerProc,
+			float64(n)*float64(n)/float64(p))
+	}
+	for _, grid := range [][2]int{{16, 4}, {32, 4}} {
+		res, err := pathrouting.RunTwoPointFiveD(n, grid[0], grid[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-8d %-14d %-14d %-14s\n",
+			"2.5d(c=4)", res.P, res.Bandwidth, res.MemoryPerProc, "-")
+	}
+	for _, p := range []int{7, 49, 343} {
+		res, err := pathrouting.RunCAPS(alg, n, p, 1<<44)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := pathrouting.MemoryIndependentLowerBound(alg, float64(n), p)
+		fmt.Printf("%-12s %-8d %-14d %-14d %-14.0f\n",
+			"caps", res.P, res.Bandwidth, res.PeakMemory, lb)
+	}
+
+	fmt.Println("\nMemory-constrained CAPS (P = 49): DFS steps trade memory for time,")
+	fmt.Println("bandwidth tracks the memory-dependent bound (n/√M)^ω₀·M/P:")
+	fmt.Printf("%-14s %-14s %-10s %-14s\n", "M (words)", "bandwidth", "BFS/DFS", "Thm 1 LB")
+	base := 3 * int64(n) * int64(n) / 49
+	for _, extra := range []int64{1 << 12, 1 << 16, 1 << 20, 1 << 30} {
+		m := base + extra
+		res, err := pathrouting.RunCAPS(alg, n, 49, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := pathrouting.ParallelLowerBound(alg, float64(n), float64(m), 49)
+		fmt.Printf("%-14d %-14d %d/%-8d %-14.0f\n", m, res.Bandwidth, res.BFSLevels, res.DFSLevels, lb)
+	}
+}

@@ -1,0 +1,88 @@
+// The constructive proof, end to end: this example walks the entire
+// chain of the paper on explicit graphs — base Hall matching (Lemma 5 /
+// Theorem 3), chain routing of guaranteed dependencies (Lemma 3 via
+// Claim 2), the three-chain composition (Lemma 4), the Routing Theorem
+// bound, and finally the segment argument (Equation 2) certifying an
+// I/O lower bound for a concrete schedule.
+//
+//	go run ./examples/routingproof
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathrouting"
+)
+
+func main() {
+	for _, alg := range []*pathrouting.Algorithm{
+		pathrouting.Strassen(),
+		pathrouting.DisconnectedFast(), // the case prior techniques cannot handle
+	} {
+		fmt.Printf("——— %s (n0=%d, b=%d, ω₀=%.3f) ———\n", alg.Name, alg.N0, alg.B(), alg.Omega0())
+		k := 2
+		if alg.A() >= 16 {
+			k = 1
+		}
+
+		// Step 1+2: Lemma 3 — Hall matching exists and lifts to a
+		// chains-only routing of all guaranteed dependencies.
+		chains, err := pathrouting.VerifyGuaranteedRouting(alg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Lemma 3:   %5d chains, max vertex hits %3d ≤ 2n₀ᵏ = %d ✓\n",
+			chains.NumPaths, chains.MaxVertexHits, chains.Bound)
+
+		// Step 3: Lemma 4 + Theorem 2 — all input-output pairs routed,
+		// nobody hit more than 6aᵏ times (vertices or meta-vertices).
+		full, err := pathrouting.VerifyRoutingTheorem(alg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Theorem 2: %5d paths,  max vertex hits %3d, max meta hits %3d ≤ 6aᵏ = %d ✓\n",
+			full.NumPaths, full.MaxVertexHits, full.MaxMetaHits, full.Bound)
+
+		// Step 4: the segment argument on a real schedule.
+		g, err := pathrouting.NewCDAG(alg, k+2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := pathrouting.BuildSchedule(g, pathrouting.ScheduleDFS, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The relaxed quota must satisfy target ≤ aᵏ/2 with headroom for
+		// the worst meta-vertex weight (multiple-copying algorithms can
+		// add several counted vertices at once); probe downward.
+		aK := int64(1)
+		for i := 0; i < k; i++ {
+			aK *= int64(alg.A())
+		}
+		var cert *pathrouting.Certificate
+		var err2 error
+		for target := aK / 2; target >= 2; target /= 2 {
+			cert, err2 = pathrouting.CertifySchedule(g, sched, pathrouting.CertifyOptions{
+				K: k, RelaxedTarget: target,
+			})
+			if err2 == nil {
+				break
+			}
+		}
+		if err2 != nil {
+			fmt.Printf("Equation 2: not certifiable here (%v)\n\n", err2)
+			continue
+		}
+		fmt.Printf("Equation 2: %d segments on G_%d, min |δ′(S′)|/|S̄| = %.3f ≥ 1/12 ✓\n",
+			cert.CompleteSegments, g.R, cert.MinDeltaRatio)
+
+		// Context: why this matters — the prior technique's status.
+		rep := pathrouting.AnalyzeExpansion(alg)
+		if rep.EdgeExpansionUsable {
+			fmt.Printf("(edge expansion also applies to %s — this paper re-derives its bound)\n\n", alg.Name)
+		} else {
+			fmt.Printf("(edge expansion FAILS for %s — only the path-routing argument applies)\n\n", alg.Name)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package pathrouting
+
+// Integration smoke tests: one test per experiment E1–E14, each running
+// a miniature version of the experiment and asserting its headline
+// inequality. cmd/paperrepro prints the full tables; these tests keep
+// every experiment permanently wired into `go test`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/expansion"
+	"pathrouting/internal/pebble"
+	"pathrouting/internal/routing"
+	"pathrouting/internal/schedule"
+	"pathrouting/internal/viz"
+)
+
+func TestE1MeasuredIOAboveBound(t *testing.T) {
+	alg := Strassen()
+	res, err := MeasureIO(alg, 4, 48, MIN, ScheduleDFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SequentialLowerBound(alg, 16, 48)
+	if float64(res.IO()) < lb {
+		t.Errorf("measured %d below Θ-bound %v", res.IO(), lb)
+	}
+}
+
+func TestE2Claim1Smoke(t *testing.T) {
+	st, err := VerifyDecodingRouting(Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(st.MaxVertexHits) > st.Bound {
+		t.Errorf("claim 1: %v", st)
+	}
+}
+
+func TestE3RoutingTheoremSmoke(t *testing.T) {
+	for _, alg := range []*Algorithm{Strassen(), DisconnectedFast()} {
+		k := 2
+		if alg.A() >= 16 {
+			k = 1
+		}
+		if _, err := VerifyRoutingTheorem(alg, k); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+func TestE4E5LemmaSmoke(t *testing.T) {
+	g, err := cdag.New(bilinear.Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.VerifyGuaranteedRouting(); err != nil {
+		t.Error(err)
+	}
+	if err := r.VerifyChainUsage(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestE6HallSmoke(t *testing.T) {
+	for _, alg := range Catalog() {
+		if _, err := routing.NewBaseMatching(alg); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+func TestE7Equation2Smoke(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(g, ScheduleDFS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifySchedule(g, sched, CertifyOptions{K: 2, RelaxedTarget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.MinDeltaRatio < 1.0/12 {
+		t.Errorf("ratio %v", cert.MinDeltaRatio)
+	}
+	s5, err := CertifySection5(g, append([]V(nil), sched...), 4, 1)
+	if err == nil && s5.MinDeltaRatio < 1.0/22 {
+		t.Errorf("section 5 ratio %v", s5.MinDeltaRatio)
+	}
+}
+
+func TestE8InputDisjointSmoke(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if picked := g.InputDisjointCollection(2); len(picked) < 1 {
+		t.Error("no input-disjoint subcomputations")
+	}
+}
+
+func TestE9StructureSmoke(t *testing.T) {
+	for _, alg := range Catalog() {
+		if bilinear.Analyze(alg).DecodingHasCopy {
+			t.Errorf("%s: Lemma 2 violated", alg.Name)
+		}
+	}
+	if expansion.Analyze(DisconnectedFast()).EdgeExpansionUsable {
+		t.Error("expansion must fail on disconnected56")
+	}
+}
+
+func TestE10ParallelSmoke(t *testing.T) {
+	cannon, err := RunCannon(256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := RunCAPS(Strassen(), 256, 49, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cannon.Bandwidth <= 0 || caps.Bandwidth <= 0 {
+		t.Error("no bandwidth recorded")
+	}
+	lb := MemoryIndependentLowerBound(Strassen(), 256, 49)
+	if float64(caps.Bandwidth) < lb {
+		t.Errorf("CAPS %d below memory-independent bound %v", caps.Bandwidth, lb)
+	}
+}
+
+func TestE11CrossoverSmoke(t *testing.T) {
+	if CrossoverN(Strassen(), 1024) <= 1 {
+		t.Error("no crossover")
+	}
+}
+
+func TestE12FiguresSmoke(t *testing.T) {
+	if len(viz.BaseGraphDOT(Strassen())) == 0 ||
+		len(viz.Lemma4ASCII(3, 0, 1, 2, 2)) == 0 ||
+		len(viz.RecursionDOT(Strassen())) == 0 {
+		t.Error("figure renderers returned empty output")
+	}
+}
+
+func TestE13ExtensionsSmoke(t *testing.T) {
+	if _, err := VerifySection8(DisconnectedFast(), 1); err != nil {
+		t.Error(err)
+	}
+	cmp, err := CompareMatchings(Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.GreedyOK && cmp.GreedyHits <= cmp.HallMaxHits {
+		t.Log("greedy behaved at k=2 (bound break shows at k=3)")
+	}
+	if err := VerifyLemma6(Strassen(), nil, 0); err != nil {
+		t.Error(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	if _, err := RandomOrbitAlgorithm(rng, nil); err != nil {
+		t.Error(err)
+	}
+	g, err := NewCDAG(Strassen(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankBalancedPartition(g, 4, PartitionContiguous, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestE14LocalitySmoke(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfsS := schedule.RecursiveDFS(g)
+	rankS := schedule.RankByRank(g)
+	dfs, err := pebble.AnalyzeStackDistances(g, dfsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := pebble.AnalyzeStackDistances(g, rankS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.MissesAt(128) >= rank.MissesAt(128) {
+		t.Error("DFS locality not better than rank-major at M=128")
+	}
+	lvD, err := pebble.AnalyzeLiveness(g, dfsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvR, err := pebble.AnalyzeLiveness(g, rankS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvD.Peak >= lvR.Peak {
+		t.Errorf("DFS peak %d not below rank peak %d", lvD.Peak, lvR.Peak)
+	}
+	// The parallel certificate is exercised here too (it belongs to the
+	// Theorem 1 parallel family).
+	owner := make([]int32, g.NumVertices())
+	for v := range owner {
+		owner[v] = int32(v % 2)
+	}
+	sched, err := BuildSchedule(g, ScheduleDFS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyParallel(g, sched, owner, 2, 2, 0, 8); err != nil {
+		t.Error(err)
+	}
+}

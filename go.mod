@@ -1,0 +1,3 @@
+module pathrouting
+
+go 1.22

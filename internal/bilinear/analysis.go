@@ -1,0 +1,215 @@
+package bilinear
+
+// This file analyzes the structure of a base graph G₁ in the terms the
+// paper's hypotheses use: connectivity of the encoding/decoding graphs,
+// copying and multiple copying, and reuse of nontrivial linear
+// combinations across multiplications.
+
+import (
+	"sort"
+
+	"pathrouting/internal/rat"
+)
+
+// Side selects one of the two operand encodings.
+type Side int
+
+// The two operand sides.
+const (
+	SideA Side = iota
+	SideB
+)
+
+func (s Side) String() string {
+	if s == SideA {
+		return "A"
+	}
+	return "B"
+}
+
+// Structure summarizes the base-graph properties the paper's lemmas
+// depend on.
+type Structure struct {
+	// EncComponents[side] is the number of connected components of the
+	// bipartite encoding graph (inputs ∪ products, edges at nonzeros).
+	EncComponents [2]int
+	// DecComponents is the number of connected components of the
+	// bipartite decoding graph (products ∪ outputs).
+	DecComponents int
+	// TrivialCombo[side][t] is the input entry e when product t's
+	// combination on that side is the bare entry e with coefficient 1
+	// (a *copy* in the paper's sense), or -1 otherwise.
+	TrivialCombo [2][]int
+	// CopyFanout[side][e] counts the products whose combination on
+	// that side is a bare copy of entry e. A value ≥ 2 is *multiple
+	// copying*.
+	CopyFanout [2][]int
+	// ReusedNontrivial[side] counts nontrivial combinations used by
+	// more than one product (violations of the paper's standing
+	// assumption "every nontrivial linear combination is used in only
+	// one multiplication").
+	ReusedNontrivial [2]int
+	// NontrivialCombos[side] counts products whose combination on that
+	// side is nontrivial. Lemma 1's hypothesis is that not *every*
+	// vertex of an encoding graph is a duplicated (copy) vertex, i.e.
+	// NontrivialCombos > 0 for each side in any fast algorithm.
+	NontrivialCombos [2]int
+	// DecodingHasCopy reports whether some output is a bare copy of a
+	// product (coefficient-1 singleton row of W). Lemma 2 proves this
+	// cannot happen in a correct algorithm.
+	DecodingHasCopy bool
+}
+
+// MultipleCopying reports whether some input entry on the side is copied
+// bare into two or more products.
+func (st *Structure) MultipleCopying(s Side) bool {
+	for _, c := range st.CopyFanout[s] {
+		if c >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// SatisfiesOneMultiplicationPerCombination reports whether every
+// nontrivial linear combination feeds exactly one multiplication — the
+// standing assumption of the paper's main theorem.
+func (st *Structure) SatisfiesOneMultiplicationPerCombination() bool {
+	return st.ReusedNontrivial[SideA] == 0 && st.ReusedNontrivial[SideB] == 0
+}
+
+// Analyze computes the Structure of the algorithm's base graph.
+func Analyze(alg *Algorithm) *Structure {
+	st := &Structure{}
+	a, b := alg.A(), alg.B()
+
+	for _, s := range []Side{SideA, SideB} {
+		m := alg.U
+		if s == SideB {
+			m = alg.V
+		}
+		st.TrivialCombo[s] = make([]int, b)
+		st.CopyFanout[s] = make([]int, a)
+		for t := 0; t < b; t++ {
+			st.TrivialCombo[s][t] = -1
+			nnz, last := 0, -1
+			for e := 0; e < a; e++ {
+				if !m[t][e].IsZero() {
+					nnz++
+					last = e
+				}
+			}
+			if nnz == 1 && m[t][last].IsOne() {
+				st.TrivialCombo[s][t] = last
+				st.CopyFanout[s][last]++
+			} else if nnz > 0 {
+				st.NontrivialCombos[s]++
+			}
+		}
+		st.ReusedNontrivial[s] = countReusedNontrivial(m, st.TrivialCombo[s])
+		st.EncComponents[s] = bipartiteComponents(a, b, func(e, t int) bool { return !m[t][e].IsZero() })
+	}
+
+	st.DecComponents = bipartiteComponents(b, a, func(t, o int) bool { return !alg.W[o][t].IsZero() })
+
+	for o := 0; o < a; o++ {
+		nnz, last := 0, -1
+		for t := 0; t < b; t++ {
+			if !alg.W[o][t].IsZero() {
+				nnz++
+				last = t
+			}
+		}
+		if nnz == 1 && alg.W[o][last].IsOne() {
+			st.DecodingHasCopy = true
+		}
+	}
+	return st
+}
+
+// countReusedNontrivial counts distinct nontrivial rows of m that occur
+// in more than one product (each such row is one linear-combination
+// value used by several multiplications).
+func countReusedNontrivial(m [][]rat.Rat, trivial []int) int {
+	seen := map[string]int{}
+	for t := range m {
+		if trivial[t] >= 0 {
+			continue
+		}
+		seen[rowKey(m[t])]++
+	}
+	reused := 0
+	for _, c := range seen {
+		if c >= 2 {
+			reused++
+		}
+	}
+	return reused
+}
+
+func rowKey(row []rat.Rat) string {
+	buf := make([]byte, 0, 4*len(row))
+	for _, c := range row {
+		buf = append(buf, c.String()...)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// bipartiteComponents returns the number of connected components of the
+// bipartite graph with nLeft + nRight vertices and an edge (l, r)
+// whenever adj(l, r) is true. Isolated vertices each count as one
+// component.
+func bipartiteComponents(nLeft, nRight int, adj func(l, r int) bool) int {
+	parent := make([]int, nLeft+nRight)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for l := 0; l < nLeft; l++ {
+		for r := 0; r < nRight; r++ {
+			if adj(l, r) {
+				union(l, nLeft+r)
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for i := range parent {
+		roots[find(i)] = true
+	}
+	return len(roots)
+}
+
+// ProductsUsingEntry returns, for each input entry of the side, the
+// sorted list of products whose combination involves that entry.
+func (alg *Algorithm) ProductsUsingEntry(s Side) [][]int {
+	m := alg.U
+	if s == SideB {
+		m = alg.V
+	}
+	out := make([][]int, alg.A())
+	for t := range m {
+		for e, c := range m[t] {
+			if !c.IsZero() {
+				out[e] = append(out[e], t)
+			}
+		}
+	}
+	for e := range out {
+		sort.Ints(out[e])
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package bilinear represents Strassen-like square matrix multiplication
+// algorithms as bilinear algorithms ⟨U, V, W⟩ and provides the catalog of
+// algorithms studied in the reproduction, exact verification via the
+// Brent equations, tensor composition, and structural analysis of the
+// base computation graph (connectivity, copying, combination reuse) that
+// the paper's hypotheses refer to.
+//
+// A bilinear algorithm for n₀×n₀ matrix multiplication C = A·B with b
+// products computes, for t = 0..b-1,
+//
+//	p_t = ( Σ_e U[t][e]·a_e ) · ( Σ_e V[t][e]·b_e )
+//
+// and then
+//
+//	c_o = Σ_t W[o][t]·p_t,
+//
+// where e and o index matrix entries in row-major order (e = i·n₀ + j).
+// In the paper's terminology the base graph G₁ has 2a inputs (a = n₀²)
+// and b multiplication vertices; the encoding graphs are given by the
+// nonzero patterns of U and V and the decoding graph by that of W.
+package bilinear
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pathrouting/internal/rat"
+)
+
+// Algorithm is an immutable description of a Strassen-like base algorithm.
+type Algorithm struct {
+	// Name identifies the algorithm in output and error messages.
+	Name string
+	// N0 is the base matrix dimension n₀ (the algorithm multiplies
+	// n₀×n₀ matrices; recursion handles n₀^r×n₀^r).
+	N0 int
+	// U holds the encoding coefficients for A: U[t][e] is the
+	// coefficient of entry a_e in the left operand of product t.
+	// Dimensions: b × a.
+	U [][]rat.Rat
+	// V holds the encoding coefficients for B (b × a).
+	V [][]rat.Rat
+	// W holds the decoding coefficients: W[o][t] is the coefficient of
+	// product p_t in output c_o. Dimensions: a × b.
+	W [][]rat.Rat
+}
+
+// A returns a = n₀², the number of inputs per operand matrix.
+func (alg *Algorithm) A() int { return alg.N0 * alg.N0 }
+
+// B returns b, the number of multiplications in the base algorithm.
+func (alg *Algorithm) B() int { return len(alg.U) }
+
+// Omega0 returns ω₀ = log_{n₀} b = 2·log_a b, the exponent of the
+// algorithm's arithmetic complexity Θ(n^{ω₀}).
+func (alg *Algorithm) Omega0() float64 {
+	return math.Log(float64(alg.B())) / math.Log(float64(alg.N0))
+}
+
+// IsFast reports whether the algorithm is a fast (ω₀ < 3) algorithm,
+// i.e. b < n₀³, the hypothesis of the paper's Theorem 1.
+func (alg *Algorithm) IsFast() bool {
+	return alg.B() < alg.N0*alg.N0*alg.N0
+}
+
+// Index returns the row-major entry index i·n₀ + j.
+func (alg *Algorithm) Index(i, j int) int { return i*alg.N0 + j }
+
+// RowCol returns the (row, column) of entry index e.
+func (alg *Algorithm) RowCol(e int) (int, int) { return e / alg.N0, e % alg.N0 }
+
+// shapeError describes a dimension inconsistency in U/V/W.
+func (alg *Algorithm) shapeError() error {
+	a, b := alg.A(), alg.B()
+	if alg.N0 < 1 {
+		return fmt.Errorf("bilinear: %s: N0 = %d < 1", alg.Name, alg.N0)
+	}
+	if b == 0 {
+		return fmt.Errorf("bilinear: %s: no products", alg.Name)
+	}
+	if len(alg.V) != b {
+		return fmt.Errorf("bilinear: %s: len(V) = %d, want b = %d", alg.Name, len(alg.V), b)
+	}
+	for t := 0; t < b; t++ {
+		if len(alg.U[t]) != a || len(alg.V[t]) != a {
+			return fmt.Errorf("bilinear: %s: product %d has U/V row lengths %d/%d, want a = %d",
+				alg.Name, t, len(alg.U[t]), len(alg.V[t]), a)
+		}
+	}
+	if len(alg.W) != a {
+		return fmt.Errorf("bilinear: %s: len(W) = %d, want a = %d", alg.Name, len(alg.W), a)
+	}
+	for o := 0; o < a; o++ {
+		if len(alg.W[o]) != b {
+			return fmt.Errorf("bilinear: %s: output %d has W row length %d, want b = %d",
+				alg.Name, o, len(alg.W[o]), b)
+		}
+	}
+	return nil
+}
+
+// Validate checks the Brent equations exactly: for all entries
+// (i,j), (k,l), (m,n) of A, B, C respectively,
+//
+//	Σ_t U[t][ij]·V[t][kl]·W[mn][t]  =  [j==k]·[i==m]·[l==n].
+//
+// This is a complete, exact correctness proof of the bilinear algorithm
+// (not a randomized check). It returns nil iff the algorithm multiplies
+// matrices correctly.
+func (alg *Algorithm) Validate() error {
+	if err := alg.shapeError(); err != nil {
+		return err
+	}
+	n0, b := alg.N0, alg.B()
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n0; j++ {
+			e := alg.Index(i, j)
+			for k := 0; k < n0; k++ {
+				for l := 0; l < n0; l++ {
+					f := alg.Index(k, l)
+					for m := 0; m < n0; m++ {
+						for n := 0; n < n0; n++ {
+							o := alg.Index(m, n)
+							sum := rat.Zero
+							for t := 0; t < b; t++ {
+								if alg.U[t][e].IsZero() || alg.V[t][f].IsZero() || alg.W[o][t].IsZero() {
+									continue
+								}
+								sum = sum.Add(alg.U[t][e].Mul(alg.V[t][f]).Mul(alg.W[o][t]))
+							}
+							want := rat.Zero
+							if j == k && i == m && l == n {
+								want = rat.One
+							}
+							if !sum.Equal(want) {
+								return fmt.Errorf(
+									"bilinear: %s: Brent equation fails: coefficient of a[%d,%d]·b[%d,%d] in c[%d,%d] is %v, want %v",
+									alg.Name, i, j, k, l, m, n, sum, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Apply multiplies two n₀×n₀ matrices of residues mod p using the base
+// algorithm directly (one level, no recursion). Inputs and output are
+// row-major slices of length a. It is the numeric ground truth used to
+// cross-check CDAG evaluation.
+func (alg *Algorithm) Apply(a, b []rat.Mod) []rat.Mod {
+	n := alg.A()
+	if len(a) != n || len(b) != n {
+		panic(fmt.Errorf("bilinear: Apply: operand lengths %d, %d; want %d", len(a), len(b), n))
+	}
+	products := make([]rat.Mod, alg.B())
+	for t := range products {
+		var la, lb rat.Mod
+		for e := 0; e < n; e++ {
+			if !alg.U[t][e].IsZero() {
+				la = rat.ModAdd(la, rat.ModMul(alg.U[t][e].Mod(), a[e]))
+			}
+			if !alg.V[t][e].IsZero() {
+				lb = rat.ModAdd(lb, rat.ModMul(alg.V[t][e].Mod(), b[e]))
+			}
+		}
+		products[t] = rat.ModMul(la, lb)
+	}
+	c := make([]rat.Mod, n)
+	for o := 0; o < n; o++ {
+		var s rat.Mod
+		for t := range products {
+			if !alg.W[o][t].IsZero() {
+				s = rat.ModAdd(s, rat.ModMul(alg.W[o][t].Mod(), products[t]))
+			}
+		}
+		c[o] = s
+	}
+	return c
+}
+
+// RandomCheck multiplies nTrials random matrices with Apply and compares
+// against direct classical multiplication mod p. It is a fast smoke test
+// complementing the exhaustive Validate.
+func (alg *Algorithm) RandomCheck(rng *rand.Rand, nTrials int) error {
+	n0 := alg.N0
+	a := make([]rat.Mod, alg.A())
+	b := make([]rat.Mod, alg.A())
+	for trial := 0; trial < nTrials; trial++ {
+		for e := range a {
+			a[e] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+			b[e] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+		}
+		got := alg.Apply(a, b)
+		for i := 0; i < n0; i++ {
+			for j := 0; j < n0; j++ {
+				var want rat.Mod
+				for k := 0; k < n0; k++ {
+					want = rat.ModAdd(want, rat.ModMul(a[alg.Index(i, k)], b[alg.Index(k, j)]))
+				}
+				if got[alg.Index(i, j)] != want {
+					return fmt.Errorf("bilinear: %s: random check trial %d: c[%d,%d] = %d, want %d",
+						alg.Name, trial, i, j, got[alg.Index(i, j)], want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Tensor returns the tensor (Kronecker) product of two algorithms: an
+// algorithm for (x.N0·y.N0)×(x.N0·y.N0) matrices using x.B()·y.B()
+// products. Tensoring verified algorithms yields a verified algorithm;
+// the catalog uses this to build fast algorithms whose base graphs have
+// disconnected decoding components and multiple copying (the cases the
+// paper's technique newly covers).
+//
+// Index convention: the x factor is the outer block structure. Entry
+// (i,j) of the product algorithm, with i = i₁·y.N0 + i₂, corresponds to
+// entry (i₂,j₂) within block (i₁,j₁). Product (t₁,t₂) is t₁·y.B() + t₂.
+func Tensor(x, y *Algorithm) *Algorithm {
+	n0 := x.N0 * y.N0
+	b := x.B() * y.B()
+	a := n0 * n0
+	entry := func(e1, e2 int) int {
+		r1, c1 := x.RowCol(e1)
+		r2, c2 := y.RowCol(e2)
+		return (r1*y.N0+r2)*n0 + (c1*y.N0 + c2)
+	}
+	mulRows := func(m1, m2 [][]rat.Rat, t1, t2 int) []rat.Rat {
+		row := make([]rat.Rat, a)
+		for e1, c1 := range m1[t1] {
+			if c1.IsZero() {
+				continue
+			}
+			for e2, c2 := range m2[t2] {
+				if c2.IsZero() {
+					continue
+				}
+				row[entry(e1, e2)] = c1.Mul(c2)
+			}
+		}
+		return row
+	}
+	alg := &Algorithm{
+		Name: x.Name + "⊗" + y.Name,
+		N0:   n0,
+		U:    make([][]rat.Rat, b),
+		V:    make([][]rat.Rat, b),
+		W:    make([][]rat.Rat, a),
+	}
+	for t1 := 0; t1 < x.B(); t1++ {
+		for t2 := 0; t2 < y.B(); t2++ {
+			t := t1*y.B() + t2
+			alg.U[t] = mulRows(x.U, y.U, t1, t2)
+			alg.V[t] = mulRows(x.V, y.V, t1, t2)
+		}
+	}
+	for o1 := 0; o1 < x.A(); o1++ {
+		for o2 := 0; o2 < y.A(); o2++ {
+			o := entry(o1, o2)
+			row := make([]rat.Rat, b)
+			for t1, c1 := range x.W[o1] {
+				if c1.IsZero() {
+					continue
+				}
+				for t2, c2 := range y.W[o2] {
+					if c2.IsZero() {
+						continue
+					}
+					row[t1*y.B()+t2] = c1.Mul(c2)
+				}
+			}
+			alg.W[o] = row
+		}
+	}
+	return alg
+}
+
+// ints converts an int slice to a coefficient row.
+func ints(xs ...int64) []rat.Rat {
+	row := make([]rat.Rat, len(xs))
+	for i, x := range xs {
+		row[i] = rat.Int(x)
+	}
+	return row
+}

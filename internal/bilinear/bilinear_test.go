@@ -1,0 +1,430 @@
+package bilinear
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathrouting/internal/rat"
+)
+
+func TestStrassenValidates(t *testing.T) {
+	if err := Strassen().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradValidates(t *testing.T) {
+	if err := Winograd().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicalValidates(t *testing.T) {
+	for n0 := 1; n0 <= 4; n0++ {
+		if err := Classical(n0).Validate(); err != nil {
+			t.Errorf("classical n0=%d: %v", n0, err)
+		}
+	}
+}
+
+func TestLadermanConstructs(t *testing.T) {
+	alg, err := Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.B() != 23 || alg.N0 != 3 {
+		t.Fatalf("laderman shape: n0=%d b=%d", alg.N0, alg.B())
+	}
+	if err := alg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorValidates(t *testing.T) {
+	if err := StrassenSquared().Validate(); err != nil {
+		t.Errorf("strassen⊗strassen: %v", err)
+	}
+	if err := DisconnectedFast().Validate(); err != nil {
+		t.Errorf("strassen⊗classical: %v", err)
+	}
+}
+
+func TestTensorShape(t *testing.T) {
+	alg := DisconnectedFast()
+	if alg.N0 != 4 {
+		t.Errorf("N0 = %d, want 4", alg.N0)
+	}
+	if alg.B() != 7*8 {
+		t.Errorf("B = %d, want 56", alg.B())
+	}
+	if !alg.IsFast() {
+		t.Error("56 < 64 so disconnected56 must be fast")
+	}
+}
+
+func TestOmega0(t *testing.T) {
+	cases := []struct {
+		alg  *Algorithm
+		want float64
+	}{
+		{Strassen(), 2.807354922057604}, // log2 7
+		{Classical(2), 3},
+		{Classical(3), 3},
+		{StrassenSquared(), 2.807354922057604}, // log4 49 = log2 7
+	}
+	for _, c := range cases {
+		if got := c.alg.Omega0(); got < c.want-1e-12 || got > c.want+1e-12 {
+			t.Errorf("%s: omega0 = %v, want %v", c.alg.Name, got, c.want)
+		}
+	}
+	lad, err := Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := lad.Omega0(); w < 2.85 || w > 2.86 {
+		t.Errorf("laderman omega0 = %v, want ~2.854", w)
+	}
+}
+
+func TestIsFast(t *testing.T) {
+	if Classical(2).IsFast() || Classical(3).IsFast() {
+		t.Error("classical must not be fast")
+	}
+	for _, alg := range []*Algorithm{Strassen(), Winograd(), StrassenSquared(), DisconnectedFast()} {
+		if !alg.IsFast() {
+			t.Errorf("%s must be fast", alg.Name)
+		}
+	}
+}
+
+func TestRandomCheckAgreesWithValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alg := range All() {
+		if err := alg.RandomCheck(rng, 20); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	alg := Strassen()
+	alg.W[0][0] = rat.Int(2) // corrupt one decoding coefficient
+	if err := alg.Validate(); err == nil {
+		t.Fatal("Validate accepted a corrupted Strassen")
+	}
+	alg = Strassen()
+	alg.U[3][1] = rat.One // corrupt one encoding coefficient
+	if err := alg.Validate(); err == nil {
+		t.Fatal("Validate accepted a corrupted encoding")
+	}
+}
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	alg := Strassen()
+	alg.W = alg.W[:3]
+	if err := alg.Validate(); err == nil {
+		t.Fatal("short W accepted")
+	}
+	alg = Strassen()
+	alg.V = alg.V[:6]
+	if err := alg.Validate(); err == nil {
+		t.Fatal("short V accepted")
+	}
+	alg = Strassen()
+	alg.U[2] = alg.U[2][:2]
+	if err := alg.Validate(); err == nil {
+		t.Fatal("ragged U accepted")
+	}
+}
+
+func TestIndexRowCol(t *testing.T) {
+	alg := Classical(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			e := alg.Index(i, j)
+			ri, rj := alg.RowCol(e)
+			if ri != i || rj != j {
+				t.Errorf("RowCol(Index(%d,%d)) = (%d,%d)", i, j, ri, rj)
+			}
+		}
+	}
+}
+
+func TestSolveDecoderRecoversStrassenW(t *testing.T) {
+	s := Strassen()
+	w, err := SolveDecoder(2, s.U, s.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &Algorithm{Name: "strassen-solved", N0: 2, U: s.U, V: s.V, W: w}
+	if err := alg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveDecoderRejectsNonSpanning(t *testing.T) {
+	// 6 products cannot compute 2×2 matmul (rank of the tensor is 7).
+	s := Strassen()
+	if _, err := SolveDecoder(2, s.U[:6], s.V[:6]); err == nil {
+		t.Fatal("SolveDecoder accepted 6 Strassen products")
+	}
+}
+
+func TestLinearSolve(t *testing.T) {
+	// Solve [[1,2],[3,4]] x = [[5],[11]] -> x = [[1],[2]].
+	a := [][]rat.Rat{{rat.Int(1), rat.Int(2)}, {rat.Int(3), rat.Int(4)}}
+	b := [][]rat.Rat{{rat.Int(5)}, {rat.Int(11)}}
+	x, err := LinearSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x[0][0].Equal(rat.Int(1)) || !x[1][0].Equal(rat.Int(2)) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLinearSolveInconsistent(t *testing.T) {
+	a := [][]rat.Rat{{rat.Int(1), rat.Int(1)}, {rat.Int(2), rat.Int(2)}}
+	b := [][]rat.Rat{{rat.Int(1)}, {rat.Int(3)}}
+	if _, err := LinearSolve(a, b); err == nil {
+		t.Fatal("inconsistent system accepted")
+	}
+}
+
+func TestLinearSolveUnderdetermined(t *testing.T) {
+	// x + y = 2 has solutions; free variable goes to zero -> x=2, y=0.
+	a := [][]rat.Rat{{rat.Int(1), rat.Int(1)}}
+	b := [][]rat.Rat{{rat.Int(2)}}
+	x, err := LinearSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x[0][0].Equal(rat.Int(2)) || !x[1][0].IsZero() {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestAnalyzeStrassen(t *testing.T) {
+	st := Analyze(Strassen())
+	if st.EncComponents[SideA] != 1 || st.EncComponents[SideB] != 1 {
+		t.Errorf("strassen encodings must be connected: %v", st.EncComponents)
+	}
+	if st.DecComponents != 1 {
+		t.Errorf("strassen decoding must be connected: %d", st.DecComponents)
+	}
+	// A11 (M3) and A22 (M4) are bare copies; so are B11 (M2), B22 (M5).
+	if st.CopyFanout[SideA][0] != 1 || st.CopyFanout[SideA][3] != 1 {
+		t.Errorf("A copy fanout: %v", st.CopyFanout[SideA])
+	}
+	if st.MultipleCopying(SideA) || st.MultipleCopying(SideB) {
+		t.Error("strassen has no multiple copying")
+	}
+	if !st.SatisfiesOneMultiplicationPerCombination() {
+		t.Error("strassen satisfies the one-multiplication assumption")
+	}
+	if st.DecodingHasCopy {
+		t.Error("strassen decoding has no copies (Lemma 2)")
+	}
+}
+
+func TestAnalyzeClassical(t *testing.T) {
+	st := Analyze(Classical(2))
+	// Decoding graph: each output is fed by its own 2 products -> 4 components.
+	if st.DecComponents != 4 {
+		t.Errorf("classical2 decoding components = %d, want 4", st.DecComponents)
+	}
+	// Every combination is a bare copy used in 2 products: multiple copying.
+	if !st.MultipleCopying(SideA) || !st.MultipleCopying(SideB) {
+		t.Error("classical2 must exhibit multiple copying")
+	}
+	if st.NontrivialCombos[SideA] != 0 {
+		t.Errorf("classical has no nontrivial combos, got %d", st.NontrivialCombos[SideA])
+	}
+}
+
+func TestAnalyzeDisconnectedFast(t *testing.T) {
+	st := Analyze(DisconnectedFast())
+	if st.DecComponents < 2 {
+		t.Errorf("disconnected56 decoding components = %d, want ≥ 2", st.DecComponents)
+	}
+	if !st.MultipleCopying(SideA) {
+		t.Error("disconnected56 must exhibit multiple copying on side A")
+	}
+	// Tensoring with the classical algorithm reuses each nontrivial
+	// Strassen combination across the classical products that share an
+	// operand block, so disconnected56 genuinely violates the paper's
+	// standing assumption — it lives in the Section 8 (conjecture)
+	// regime, which is exactly why it is in the catalog.
+	if st.SatisfiesOneMultiplicationPerCombination() {
+		t.Error("disconnected56 must violate the one-multiplication assumption")
+	}
+	if st.DecodingHasCopy {
+		t.Error("no correct algorithm has decoding copies (Lemma 2)")
+	}
+}
+
+func TestLemma2NoDecodingCopyInCatalog(t *testing.T) {
+	// Lemma 2: the decoding graph of a correct algorithm cannot contain
+	// copying (otherwise two outputs would be identically equal).
+	for _, alg := range All() {
+		if Analyze(alg).DecodingHasCopy {
+			t.Errorf("%s: decoding graph contains a copy vertex", alg.Name)
+		}
+	}
+}
+
+func TestProductsUsingEntry(t *testing.T) {
+	s := Strassen()
+	use := s.ProductsUsingEntry(SideA)
+	// A11 (entry 0) appears in M1, M3, M5, M6 (indices 0, 2, 4, 5).
+	want := []int{0, 2, 4, 5}
+	if len(use[0]) != len(want) {
+		t.Fatalf("A11 used by %v, want %v", use[0], want)
+	}
+	for i := range want {
+		if use[0][i] != want[i] {
+			t.Fatalf("A11 used by %v, want %v", use[0], want)
+		}
+	}
+}
+
+func TestApplyMatchesClassicalDefinition(t *testing.T) {
+	alg := Strassen()
+	a := []rat.Mod{1, 2, 3, 4}
+	b := []rat.Mod{5, 6, 7, 8}
+	got := alg.Apply(a, b)
+	want := []rat.Mod{19, 22, 43, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllContainsLaderman(t *testing.T) {
+	found := false
+	for _, alg := range All() {
+		if alg.Name == "laderman" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("catalog must include laderman")
+	}
+}
+
+func TestFastExcludesClassical(t *testing.T) {
+	for _, alg := range Fast() {
+		if !alg.IsFast() {
+			t.Errorf("Fast() returned non-fast %s", alg.Name)
+		}
+	}
+	if len(Fast()) < 4 {
+		t.Errorf("Fast() too small: %d", len(Fast()))
+	}
+}
+
+func TestDualsOfStrassen(t *testing.T) {
+	duals := Duals(Strassen())
+	if len(duals) < 3 {
+		t.Fatalf("only %d duals found", len(duals))
+	}
+	for _, d := range duals {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if d.B() != 7 || d.N0 != 2 {
+			t.Errorf("%s: shape changed", d.Name)
+		}
+	}
+}
+
+func TestDualsOfWinogradAndClassical(t *testing.T) {
+	if len(Duals(Winograd())) < 3 {
+		t.Error("winograd duals missing")
+	}
+	// Classical is fully symmetric: its duals coincide with itself
+	// under relabeling, but the candidates that validate must still be
+	// valid algorithms.
+	for _, d := range Duals(Classical(2)) {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDualsAreDistinct(t *testing.T) {
+	duals := Duals(Strassen())
+	for i := 0; i < len(duals); i++ {
+		for j := i + 1; j < len(duals); j++ {
+			same := true
+		outer:
+			for tt := 0; tt < 7; tt++ {
+				for e := 0; e < 4; e++ {
+					if !duals[i].U[tt][e].Equal(duals[j].U[tt][e]) ||
+						!duals[i].V[tt][e].Equal(duals[j].V[tt][e]) {
+						same = false
+						break outer
+					}
+				}
+			}
+			if same {
+				wSame := true
+				for o := 0; o < 4 && wSame; o++ {
+					for tt := 0; tt < 7; tt++ {
+						if !duals[i].W[o][tt].Equal(duals[j].W[o][tt]) {
+							wSame = false
+							break
+						}
+					}
+				}
+				if wSame {
+					t.Fatalf("duals %d and %d identical", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, alg := range All() {
+		data, err := MarshalAlgorithm(alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		back, err := UnmarshalAlgorithm(data)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if back.Name != alg.Name || back.N0 != alg.N0 || back.B() != alg.B() {
+			t.Fatalf("%s: shape changed in round trip", alg.Name)
+		}
+		for tt := 0; tt < alg.B(); tt++ {
+			for e := 0; e < alg.A(); e++ {
+				if !back.U[tt][e].Equal(alg.U[tt][e]) || !back.V[tt][e].Equal(alg.V[tt][e]) {
+					t.Fatalf("%s: coefficients changed", alg.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	alg := Strassen()
+	data, err := MarshalAlgorithm(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a coefficient: "1" -> "2" in U's first nonzero slot.
+	corrupt := []byte(strings.Replace(string(data), `"1"`, `"2"`, 1))
+	if _, err := UnmarshalAlgorithm(corrupt); err == nil {
+		t.Fatal("corrupted algorithm accepted")
+	}
+	if _, err := UnmarshalAlgorithm([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := UnmarshalAlgorithm([]byte(`{"name":"x","n0":2,"u":[["z"]],"v":[["1"]],"w":[["1"]]}`)); err == nil {
+		t.Fatal("unparseable coefficient accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package bilinear
+
+// Dual algorithms via the symmetries of the matrix-multiplication
+// tensor. ⟨n,n,n⟩ is invariant under cyclically rotating the roles of
+// A, B, C combined with transposition, so every algorithm ⟨U,V,W⟩
+// spawns a family of siblings (its S₃-orbit). The constructions are
+// assembled candidate-by-candidate and filtered through the exact Brent
+// verifier, so only genuinely valid duals are returned — no symmetry
+// bookkeeping can silently go wrong. Duals enrich the catalog for
+// testing: they share b and ω₀ but permute the encoding/decoding
+// structure (a connected decoding graph can become an encoding graph of
+// a dual, etc.).
+
+import "pathrouting/internal/rat"
+
+// transposeEntries returns the row with entry indices transposed:
+// out[(i,j)] = row[(j,i)].
+func transposeEntries(n0 int, row []rat.Rat) []rat.Rat {
+	out := make([]rat.Rat, len(row))
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n0; j++ {
+			out[i*n0+j] = row[j*n0+i]
+		}
+	}
+	return out
+}
+
+// wAsRows returns W reshaped to b rows of length a (like U and V):
+// out[t][o] = W[o][t].
+func wAsRows(alg *Algorithm) [][]rat.Rat {
+	out := make([][]rat.Rat, alg.B())
+	for t := range out {
+		out[t] = make([]rat.Rat, alg.A())
+		for o := 0; o < alg.A(); o++ {
+			out[t][o] = alg.W[o][t]
+		}
+	}
+	return out
+}
+
+// rowsAsW is the inverse reshape.
+func rowsAsW(a int, rows [][]rat.Rat) [][]rat.Rat {
+	w := make([][]rat.Rat, a)
+	for o := 0; o < a; o++ {
+		w[o] = make([]rat.Rat, len(rows))
+		for t := range rows {
+			w[o][t] = rows[t][o]
+		}
+	}
+	return w
+}
+
+// Duals returns the valid members of the algorithm's symmetry family:
+// all assignments of the three coefficient families {U, V, W} (each
+// optionally entry-transposed) to the three roles that pass the exact
+// Brent verification, excluding the identity assignment. Typical
+// algorithms yield several distinct duals (the cyclic rotations with
+// transposes).
+func Duals(alg *Algorithm) []*Algorithm {
+	n0, a := alg.N0, alg.A()
+	sources := [][][]rat.Rat{alg.U, alg.V, wAsRows(alg)}
+	names := []string{"U", "V", "Wt"}
+
+	maybeT := func(rows [][]rat.Rat, flag bool) [][]rat.Rat {
+		if !flag {
+			return rows
+		}
+		out := make([][]rat.Rat, len(rows))
+		for i, row := range rows {
+			out[i] = transposeEntries(n0, row)
+		}
+		return out
+	}
+
+	var out []*Algorithm
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		for mask := 0; mask < 8; mask++ {
+			if p == [3]int{0, 1, 2} && mask == 0 {
+				continue // identity
+			}
+			cand := &Algorithm{
+				Name: alg.Name + "-dual-" + names[p[0]] + names[p[1]] + names[p[2]],
+				N0:   n0,
+				U:    maybeT(sources[p[0]], mask&1 != 0),
+				V:    maybeT(sources[p[1]], mask&2 != 0),
+				W:    rowsAsW(a, maybeT(sources[p[2]], mask&4 != 0)),
+			}
+			if cand.Validate() == nil {
+				out = append(out, cand)
+			}
+		}
+	}
+	return dedupeAlgorithms(out)
+}
+
+// dedupeAlgorithms removes coefficient-identical algorithms.
+func dedupeAlgorithms(algs []*Algorithm) []*Algorithm {
+	seen := map[string]bool{}
+	var out []*Algorithm
+	for _, alg := range algs {
+		key := ""
+		for t := 0; t < alg.B(); t++ {
+			key += rowKey(alg.U[t]) + "|" + rowKey(alg.V[t]) + ";"
+		}
+		for o := 0; o < alg.A(); o++ {
+			key += rowKey(alg.W[o]) + ";"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, alg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package bilinear
+
+// JSON serialization of algorithms, so catalogs can be exported,
+// external algorithms imported, and reproduction artifacts exchanged.
+// Coefficients serialize as exact strings ("1", "-1/2") — no float
+// round-trip can corrupt an algorithm, and UnmarshalAlgorithm verifies
+// the Brent equations before returning, so a deserialized Algorithm is
+// always a proven-correct one.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pathrouting/internal/rat"
+)
+
+// algorithmJSON is the wire form.
+type algorithmJSON struct {
+	Name string     `json:"name"`
+	N0   int        `json:"n0"`
+	U    [][]string `json:"u"`
+	V    [][]string `json:"v"`
+	W    [][]string `json:"w"`
+}
+
+func rowsToStrings(rows [][]rat.Rat) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = make([]string, len(row))
+		for j, c := range row {
+			out[i][j] = c.String()
+		}
+	}
+	return out
+}
+
+func rowsFromStrings(rows [][]string) ([][]rat.Rat, error) {
+	out := make([][]rat.Rat, len(rows))
+	for i, row := range rows {
+		out[i] = make([]rat.Rat, len(row))
+		for j, s := range row {
+			c, err := rat.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("bilinear: row %d entry %d: %w", i, j, err)
+			}
+			out[i][j] = c
+		}
+	}
+	return out, nil
+}
+
+// MarshalAlgorithm serializes the algorithm to JSON.
+func MarshalAlgorithm(alg *Algorithm) ([]byte, error) {
+	return json.MarshalIndent(algorithmJSON{
+		Name: alg.Name,
+		N0:   alg.N0,
+		U:    rowsToStrings(alg.U),
+		V:    rowsToStrings(alg.V),
+		W:    rowsToStrings(alg.W),
+	}, "", "  ")
+}
+
+// UnmarshalAlgorithm parses and *verifies* an algorithm from JSON: the
+// returned algorithm has passed the exact Brent-equation check.
+func UnmarshalAlgorithm(data []byte) (*Algorithm, error) {
+	var aj algorithmJSON
+	if err := json.Unmarshal(data, &aj); err != nil {
+		return nil, fmt.Errorf("bilinear: %w", err)
+	}
+	u, err := rowsFromStrings(aj.U)
+	if err != nil {
+		return nil, err
+	}
+	v, err := rowsFromStrings(aj.V)
+	if err != nil {
+		return nil, err
+	}
+	w, err := rowsFromStrings(aj.W)
+	if err != nil {
+		return nil, err
+	}
+	alg := &Algorithm{Name: aj.Name, N0: aj.N0, U: u, V: v, W: w}
+	if err := alg.Validate(); err != nil {
+		return nil, fmt.Errorf("bilinear: deserialized algorithm invalid: %w", err)
+	}
+	return alg, nil
+}

@@ -1,0 +1,208 @@
+package bilinear
+
+// Random verified algorithms, for property-based testing of the entire
+// pipeline. Uniformly random rank-one tensors essentially never span
+// the matrix-multiplication tensor, so the generator instead samples
+// from the tensor's symmetry group: writing A = X·Â·Y⁻¹, B = Y·B̂·Z⁻¹
+// gives C = X·(Â·B̂)·Z⁻¹, so conjugating a known algorithm by random
+// invertible X, Y, Z (plus a random product permutation and random
+// per-product scalings λ_t·u_t, μ_t·v_t, w_t/(λ_tμ_t)) yields fresh
+// *verified* Strassen-like algorithms with the same b but arbitrary
+// coefficient structure — the de Groote equivalence class. Every claim
+// the repository verifies for the catalog can then be re-checked on
+// machine-generated instances.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathrouting/internal/rat"
+)
+
+// RandomAlgorithm returns a verified algorithm sampled from the
+// symmetry orbit of base (pass nil for Strassen's algorithm). Entries
+// of the conjugating matrices are small integers, so coefficients stay
+// exact rationals of modest height.
+func RandomAlgorithm(rng *rand.Rand, base *Algorithm) (*Algorithm, error) {
+	if base == nil {
+		base = Strassen()
+	}
+	n0 := base.N0
+	x, xi, err := randomInvertible(rng, n0)
+	if err != nil {
+		return nil, err
+	}
+	y, yi, err := randomInvertible(rng, n0)
+	if err != nil {
+		return nil, err
+	}
+	z, zi, err := randomInvertible(rng, n0)
+	if err != nil {
+		return nil, err
+	}
+	a := base.A()
+	b := base.B()
+
+	// Entry-space maps. Row-major entry e = i·n₀ + j.
+	// Â = X⁻¹AY:  coefficient of A_{kl} in Â_{ij} is X⁻¹[i][k]·Y[l][j].
+	phiA := entryMap(n0, xi, y)
+	// B̂ = Y⁻¹BZ.
+	phiB := entryMap(n0, yi, z)
+	// C = X·Ĉ·Z⁻¹: coefficient of Ĉ_{kl} in C_{ij} is X[i][k]·Z⁻¹[l][j].
+	psiC := entryMap(n0, x, zi)
+
+	perm := rng.Perm(b)
+	alg := &Algorithm{
+		Name: fmt.Sprintf("orbit-of-%s", base.Name),
+		N0:   n0,
+		U:    make([][]rat.Rat, b),
+		V:    make([][]rat.Rat, b),
+		W:    make([][]rat.Rat, a),
+	}
+	lambda := make([]rat.Rat, b)
+	mu := make([]rat.Rat, b)
+	for t := 0; t < b; t++ {
+		lambda[t] = rat.Int(int64(rng.Intn(3)) + 1)
+		mu[t] = rat.Int(int64(rng.Intn(3)) + 1)
+		if rng.Intn(2) == 0 {
+			lambda[t] = lambda[t].Neg()
+		}
+	}
+	for t := 0; t < b; t++ {
+		src := perm[t]
+		alg.U[t] = scaleRow(rowTimes(base.U[src], phiA), lambda[src])
+		alg.V[t] = scaleRow(rowTimes(base.V[src], phiB), mu[src])
+	}
+	for o := 0; o < a; o++ {
+		// W'[o] = Σ_{o'} psiC[o][o'] · W[o'], then permute and unscale.
+		row := make([]rat.Rat, b)
+		for op := 0; op < a; op++ {
+			c := psiC[o][op]
+			if c.IsZero() {
+				continue
+			}
+			for t := 0; t < b; t++ {
+				if !base.W[op][t].IsZero() {
+					row[t] = row[t].Add(c.Mul(base.W[op][t]))
+				}
+			}
+		}
+		out := make([]rat.Rat, b)
+		for t := 0; t < b; t++ {
+			src := perm[t]
+			out[t] = row[src].Div(lambda[src].Mul(mu[src]))
+		}
+		alg.W[o] = out
+	}
+	if err := alg.Validate(); err != nil {
+		return nil, fmt.Errorf("bilinear: RandomAlgorithm produced invalid orbit element: %w", err)
+	}
+	return alg, nil
+}
+
+// entryMap builds the a×a matrix E with E[(i,j)][(k,l)] = P[i][k]·Q[l][j].
+func entryMap(n0 int, p, q [][]rat.Rat) [][]rat.Rat {
+	a := n0 * n0
+	e := make([][]rat.Rat, a)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n0; j++ {
+			row := make([]rat.Rat, a)
+			for k := 0; k < n0; k++ {
+				for l := 0; l < n0; l++ {
+					row[k*n0+l] = p[i][k].Mul(q[l][j])
+				}
+			}
+			e[i*n0+j] = row
+		}
+	}
+	return e
+}
+
+// rowTimes returns row·m (vector-matrix product over Q).
+func rowTimes(row []rat.Rat, m [][]rat.Rat) []rat.Rat {
+	out := make([]rat.Rat, len(m[0]))
+	for e, c := range row {
+		if c.IsZero() {
+			continue
+		}
+		for f, mc := range m[e] {
+			if !mc.IsZero() {
+				out[f] = out[f].Add(c.Mul(mc))
+			}
+		}
+	}
+	return out
+}
+
+func scaleRow(row []rat.Rat, s rat.Rat) []rat.Rat {
+	out := make([]rat.Rat, len(row))
+	for i, c := range row {
+		if !c.IsZero() {
+			out[i] = c.Mul(s)
+		}
+	}
+	return out
+}
+
+// randomInvertible draws a random n₀×n₀ integer matrix with entries in
+// [-2, 2] until it is invertible, returning the matrix and its exact
+// inverse.
+func randomInvertible(rng *rand.Rand, n0 int) (m, inv [][]rat.Rat, err error) {
+	for try := 0; try < 200; try++ {
+		m = make([][]rat.Rat, n0)
+		for i := range m {
+			m[i] = make([]rat.Rat, n0)
+			for j := range m[i] {
+				m[i][j] = rat.Int(int64(rng.Intn(5)) - 2)
+			}
+		}
+		ident := make([][]rat.Rat, n0)
+		for i := range ident {
+			ident[i] = make([]rat.Rat, n0)
+			ident[i][i] = rat.One
+		}
+		inv, err = LinearSolve(m, ident)
+		if err != nil {
+			continue
+		}
+		// LinearSolve zero-fills free variables on rank-deficient
+		// systems; confirm the inverse by multiplication.
+		if isIdentity(matMulRat(m, inv)) {
+			return m, inv, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("bilinear: no invertible %d×%d draw in 200 tries", n0, n0)
+}
+
+func matMulRat(a, b [][]rat.Rat) [][]rat.Rat {
+	n := len(a)
+	c := make([][]rat.Rat, n)
+	for i := range c {
+		c[i] = make([]rat.Rat, n)
+		for k := 0; k < n; k++ {
+			if a[i][k].IsZero() {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !b[k][j].IsZero() {
+					c[i][j] = c[i][j].Add(a[i][k].Mul(b[k][j]))
+				}
+			}
+		}
+	}
+	return c
+}
+
+func isIdentity(m [][]rat.Rat) bool {
+	for i := range m {
+		for j := range m[i] {
+			if i == j && !m[i][j].IsOne() {
+				return false
+			}
+			if i != j && !m[i][j].IsZero() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package bilinear
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomAlgorithmValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		alg, err := RandomAlgorithm(rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.N0 != 2 || alg.B() != 7 {
+			t.Fatalf("orbit element shape n0=%d b=%d", alg.N0, alg.B())
+		}
+		// Validate is called inside RandomAlgorithm; re-check the
+		// exponent invariance: symmetry transformations preserve b.
+		if alg.Omega0() != Strassen().Omega0() {
+			t.Fatalf("omega changed: %v", alg.Omega0())
+		}
+	}
+}
+
+func TestRandomAlgorithmOrbitOfLaderman(t *testing.T) {
+	lad, err := Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	alg, err := RandomAlgorithm(rng, lad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.N0 != 3 || alg.B() != 23 {
+		t.Fatalf("shape n0=%d b=%d", alg.N0, alg.B())
+	}
+}
+
+func TestRandomAlgorithmsDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a1, err := RandomAlgorithm(rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RandomAlgorithm(rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for t0 := 0; t0 < a1.B() && same; t0++ {
+		for e := 0; e < a1.A(); e++ {
+			if !a1.U[t0][e].Equal(a2.U[t0][e]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("two orbit draws identical")
+	}
+}
+
+func TestRandomInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n0 := 2; n0 <= 4; n0++ {
+		m, inv, err := randomInvertible(rng, n0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isIdentity(matMulRat(m, inv)) || !isIdentity(matMulRat(inv, m)) {
+			t.Fatalf("n0=%d: inverse wrong", n0)
+		}
+	}
+}

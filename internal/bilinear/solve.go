@@ -1,0 +1,139 @@
+package bilinear
+
+import (
+	"fmt"
+
+	"pathrouting/internal/rat"
+)
+
+// LinearSolve returns an X with A·X = B, where A is m×n and B is m×k,
+// using exact Gaussian elimination over the rationals. Free variables
+// are set to zero. It returns an error if the system is inconsistent.
+func LinearSolve(a [][]rat.Rat, b [][]rat.Rat) ([][]rat.Rat, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, fmt.Errorf("bilinear: LinearSolve: empty system")
+	}
+	n := len(a[0])
+	if len(b) != m {
+		return nil, fmt.Errorf("bilinear: LinearSolve: %d rows in A but %d in B", m, len(b))
+	}
+	k := len(b[0])
+
+	// Build augmented working copy [A | B].
+	w := make([][]rat.Rat, m)
+	for i := range w {
+		if len(a[i]) != n || len(b[i]) != k {
+			return nil, fmt.Errorf("bilinear: LinearSolve: ragged input at row %d", i)
+		}
+		w[i] = make([]rat.Rat, n+k)
+		copy(w[i], a[i])
+		copy(w[i][n:], b[i])
+	}
+
+	// Forward elimination with partial pivoting (by nonzero; magnitude
+	// is irrelevant in exact arithmetic).
+	pivotCol := make([]int, 0, min(m, n))
+	row := 0
+	for col := 0; col < n && row < m; col++ {
+		pr := -1
+		for r := row; r < m; r++ {
+			if !w[r][col].IsZero() {
+				pr = r
+				break
+			}
+		}
+		if pr < 0 {
+			continue
+		}
+		w[row], w[pr] = w[pr], w[row]
+		inv := w[row][col].Inv()
+		for c := col; c < n+k; c++ {
+			w[row][c] = w[row][c].Mul(inv)
+		}
+		for r := 0; r < m; r++ {
+			if r == row || w[r][col].IsZero() {
+				continue
+			}
+			f := w[r][col]
+			for c := col; c < n+k; c++ {
+				w[r][c] = w[r][c].Sub(f.Mul(w[row][c]))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+
+	// Consistency: rows of zeros in A-part must have zero B-part.
+	for r := row; r < m; r++ {
+		for c := n; c < n+k; c++ {
+			if !w[r][c].IsZero() {
+				return nil, fmt.Errorf("bilinear: LinearSolve: inconsistent system (row %d)", r)
+			}
+		}
+	}
+
+	// Read off the solution: pivot variables take the reduced RHS, free
+	// variables are zero.
+	x := make([][]rat.Rat, n)
+	for i := range x {
+		x[i] = make([]rat.Rat, k)
+	}
+	for r, col := range pivotCol {
+		for c := 0; c < k; c++ {
+			x[col][c] = w[r][n+c]
+		}
+	}
+	return x, nil
+}
+
+// SolveDecoder computes decoding coefficients W for the given encodings
+// (U, V) of an n₀×n₀ matrix multiplication algorithm, i.e. a W such that
+// the Brent equations hold, or an error if the b products do not span the
+// required bilinear forms. This turns any valid set of products into a
+// complete verified algorithm, and is also the computational content of
+// the paper's Lemma 6 discussion: correctness of output c_o pins down
+// a full set of product coefficients.
+func SolveDecoder(n0 int, u, v [][]rat.Rat) ([][]rat.Rat, error) {
+	aDim := n0 * n0
+	b := len(u)
+	if len(v) != b {
+		return nil, fmt.Errorf("bilinear: SolveDecoder: len(U) = %d, len(V) = %d", b, len(v))
+	}
+	// System rows: one per (e, f) pair of A-entry × B-entry.
+	// M[(e,f)][t] = U[t][e]·V[t][f];  RHS column per output o.
+	rows := aDim * aDim
+	m := make([][]rat.Rat, rows)
+	rhs := make([][]rat.Rat, rows)
+	for e := 0; e < aDim; e++ {
+		re, ce := e/n0, e%n0
+		for f := 0; f < aDim; f++ {
+			rf, cf := f/n0, f%n0
+			ri := e*aDim + f
+			m[ri] = make([]rat.Rat, b)
+			for t := 0; t < b; t++ {
+				if !u[t][e].IsZero() && !v[t][f].IsZero() {
+					m[ri][t] = u[t][e].Mul(v[t][f])
+				}
+			}
+			rhs[ri] = make([]rat.Rat, aDim)
+			if ce == rf {
+				// a_{re,ce}·b_{rf,cf} contributes to c_{re,cf}.
+				rhs[ri][re*n0+cf] = rat.One
+			}
+		}
+	}
+	xt, err := LinearSolve(m, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("bilinear: SolveDecoder: products do not span matrix multiplication: %w", err)
+	}
+	// xt is b × a (solution per output in columns); W wants a × b.
+	w := make([][]rat.Rat, aDim)
+	for o := 0; o < aDim; o++ {
+		w[o] = make([]rat.Rat, b)
+		for t := 0; t < b; t++ {
+			w[o][t] = xt[t][o]
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,191 @@
+package bilinear
+
+// This file makes Lemma 6 of the paper executable: the construction of
+// the reduced computation graph G₁° (Figure 9) and the verification of
+// Winograd's bound on it.
+//
+// For a fixed input row i, remove from the base graph all products
+// outside a chosen set `keep`, restrict attention to the inputs a_ij′
+// and outputs c_ij of row i, and treat the entries of B as coefficients
+// (elements of F[b₁₁, …, b_{n₀n₀}]). G₁° then computes, for every pair
+// (j, j′), some coefficient x_{j′j} ∈ F[b…] of a_{ij′} in c_{ij}; the
+// coefficient is *correct* for matrix multiplication when x_{j′j} =
+// b_{j′j}. Lemma 6 states that if d coefficients are correct then G₁°
+// uses at least d multiplications: n_f ≤ |keep|. Winograd's theorem
+// (matrix-vector multiplication needs n₀² multiplications) makes the
+// bound unconditional, and the paper's Lemma 5 follows from it.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathrouting/internal/rat"
+)
+
+// BVector is an element of the coefficient module F[b₁₁..b_{n₀n₀}]
+// restricted to linear forms: Coeffs[f] multiplies entry b_f.
+type BVector []rat.Rat
+
+// IsEntry reports whether the vector is exactly the single entry b_f
+// with coefficient 1.
+func (v BVector) IsEntry(f int) bool {
+	for g, c := range v {
+		if g == f {
+			if !c.IsOne() {
+				return false
+			}
+		} else if !c.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// G1Circle is the reduced computation graph of Lemma 5/6 for one row.
+type G1Circle struct {
+	// Alg is the base algorithm the reduction started from.
+	Alg *Algorithm
+	// Row is the fixed row index i of A and C.
+	Row int
+	// Keep lists the products retained in G₁°.
+	Keep []int
+	// X[j′·n₀+j] is the computed coefficient x_{j′j} of a_{ij′} in
+	// c_{ij}, a linear form in the entries of B.
+	X []BVector
+}
+
+// NewG1Circle builds G₁° for the given row keeping only the listed
+// products. The coefficient of a_{ij′} in c_{ij} computed by the
+// reduced graph is Σ_{t∈keep} W[c_ij][t] · U[t][a_ij′] · (V[t]·b),
+// exactly as in the paper's proof of Lemma 5.
+func NewG1Circle(alg *Algorithm, row int, keep []int) (*G1Circle, error) {
+	n0, a := alg.N0, alg.A()
+	if row < 0 || row >= n0 {
+		return nil, fmt.Errorf("bilinear: G1Circle row %d out of range [0,%d)", row, n0)
+	}
+	seen := map[int]bool{}
+	for _, t := range keep {
+		if t < 0 || t >= alg.B() {
+			return nil, fmt.Errorf("bilinear: G1Circle product %d out of range", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("bilinear: G1Circle duplicate product %d", t)
+		}
+		seen[t] = true
+	}
+	gc := &G1Circle{Alg: alg, Row: row, Keep: append([]int(nil), keep...)}
+	gc.X = make([]BVector, n0*n0)
+	for jp := 0; jp < n0; jp++ {
+		e := alg.Index(row, jp) // a_{i,j′}
+		for j := 0; j < n0; j++ {
+			o := alg.Index(row, j) // c_{i,j}
+			x := make(BVector, a)
+			for _, t := range keep {
+				w := alg.W[o][t]
+				u := alg.U[t][e]
+				if w.IsZero() || u.IsZero() {
+					continue
+				}
+				wu := w.Mul(u)
+				for f := 0; f < a; f++ {
+					if !alg.V[t][f].IsZero() {
+						x[f] = x[f].Add(wu.Mul(alg.V[t][f]))
+					}
+				}
+			}
+			gc.X[jp*n0+j] = x
+		}
+	}
+	return gc, nil
+}
+
+// CorrectCoefficients returns n_f: the number of pairs (j, j′) whose
+// computed coefficient equals the matrix-multiplication value b_{j′j}.
+func (gc *G1Circle) CorrectCoefficients() int {
+	n0 := gc.Alg.N0
+	nf := 0
+	for jp := 0; jp < n0; jp++ {
+		for j := 0; j < n0; j++ {
+			if gc.X[jp*n0+j].IsEntry(gc.Alg.Index(jp, j)) {
+				nf++
+			}
+		}
+	}
+	return nf
+}
+
+// CheckLemma6 verifies Winograd's bound on this instance: the number of
+// correct coefficients cannot exceed the number of retained products
+// (otherwise completing the remaining n₀²−n_f coefficients with one
+// multiplication each would yield a matrix-vector algorithm with fewer
+// than n₀² multiplications). Returns an error if the bound fails.
+func (gc *G1Circle) CheckLemma6() error {
+	nf := gc.CorrectCoefficients()
+	if nf > len(gc.Keep) {
+		return fmt.Errorf(
+			"bilinear: Lemma 6 violated on %s row %d: %d correct coefficients with only %d products (Winograd's bound broken)",
+			gc.Alg.Name, gc.Row, nf, len(gc.Keep))
+	}
+	return nil
+}
+
+// VerifyLemma6Exhaustive checks Lemma 6 over every subset of products
+// of the base graph and every row. Exponential in b; intended for
+// b ≤ ~12 (use VerifyLemma6Random for larger bases).
+func VerifyLemma6Exhaustive(alg *Algorithm) error {
+	if alg.B() > 14 {
+		return fmt.Errorf("bilinear: exhaustive Lemma 6 check infeasible for b = %d", alg.B())
+	}
+	for row := 0; row < alg.N0; row++ {
+		for mask := 0; mask < 1<<uint(alg.B()); mask++ {
+			var keep []int
+			for t := 0; t < alg.B(); t++ {
+				if mask&(1<<uint(t)) != 0 {
+					keep = append(keep, t)
+				}
+			}
+			gc, err := NewG1Circle(alg, row, keep)
+			if err != nil {
+				return err
+			}
+			if err := gc.CheckLemma6(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyLemma6Random checks Lemma 6 on nTrials random product subsets
+// per row.
+func VerifyLemma6Random(alg *Algorithm, rng *rand.Rand, nTrials int) error {
+	for row := 0; row < alg.N0; row++ {
+		for trial := 0; trial < nTrials; trial++ {
+			var keep []int
+			for t := 0; t < alg.B(); t++ {
+				if rng.Intn(2) == 0 {
+					keep = append(keep, t)
+				}
+			}
+			gc, err := NewG1Circle(alg, row, keep)
+			if err != nil {
+				return err
+			}
+			if err := gc.CheckLemma6(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RepairCount returns the number of multiplications of the repaired
+// full matrix-vector algorithm of the Lemma 5 proof: |keep| products of
+// G₁° plus one fixing multiplication per incorrect coefficient. By
+// Winograd's theorem this is always ≥ n₀².
+func (gc *G1Circle) RepairCount() int {
+	return len(gc.Keep) + gc.Alg.A() - gc.CorrectCoefficients()
+}
+
+// intOne is a tiny helper for tests.
+func intOne() rat.Rat { return rat.One }

@@ -1,0 +1,124 @@
+package bilinear
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestG1CircleFullGraphIsCorrect(t *testing.T) {
+	// Keeping every product, every coefficient must be correct
+	// (n_f = n₀²) for every row of every catalog algorithm — the base
+	// graph does compute matrix multiplication.
+	for _, alg := range All() {
+		all := make([]int, alg.B())
+		for t := range all {
+			all[t] = t
+		}
+		for row := 0; row < alg.N0; row++ {
+			gc, err := NewG1Circle(alg, row, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nf := gc.CorrectCoefficients(); nf != alg.A() {
+				t.Errorf("%s row %d: full graph has %d/%d correct coefficients", alg.Name, row, nf, alg.A())
+			}
+		}
+	}
+}
+
+func TestG1CircleEmptyGraph(t *testing.T) {
+	gc, err := NewG1Circle(Strassen(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf := gc.CorrectCoefficients(); nf != 0 {
+		t.Errorf("empty G₁° has %d correct coefficients", nf)
+	}
+	if err := gc.CheckLemma6(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma6ExhaustiveStrassenWinograd(t *testing.T) {
+	// The computational content of Lemma 6 over all 2⁷ product subsets
+	// and both rows: n_f ≤ |keep| always.
+	for _, alg := range []*Algorithm{Strassen(), Winograd(), Classical(2)} {
+		if err := VerifyLemma6Exhaustive(alg); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+func TestLemma6RandomLargeBases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lad, err := Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []*Algorithm{lad, StrassenSquared(), DisconnectedFast(), Classical(3)} {
+		if err := VerifyLemma6Random(alg, rng, 200); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+func TestRepairCountNeverBeatsWinograd(t *testing.T) {
+	// The repaired matrix-vector algorithm always uses ≥ n₀²
+	// multiplications (Winograd 1967); exhaustive over Strassen subsets.
+	alg := Strassen()
+	for mask := 0; mask < 1<<7; mask++ {
+		var keep []int
+		for t := 0; t < 7; t++ {
+			if mask&(1<<uint(t)) != 0 {
+				keep = append(keep, t)
+			}
+		}
+		gc, err := NewG1Circle(alg, 1, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc := gc.RepairCount(); rc < alg.A() {
+			t.Fatalf("keep=%v: repaired algorithm with %d < n₀² = %d multiplications", keep, rc, alg.A())
+		}
+	}
+}
+
+func TestG1CircleRejectsBadInput(t *testing.T) {
+	if _, err := NewG1Circle(Strassen(), 5, nil); err == nil {
+		t.Error("bad row accepted")
+	}
+	if _, err := NewG1Circle(Strassen(), 0, []int{9}); err == nil {
+		t.Error("bad product accepted")
+	}
+	if _, err := NewG1Circle(Strassen(), 0, []int{1, 1}); err == nil {
+		t.Error("duplicate product accepted")
+	}
+}
+
+func TestBVectorIsEntry(t *testing.T) {
+	v := make(BVector, 4)
+	if v.IsEntry(2) {
+		t.Error("zero vector is not an entry")
+	}
+	v[2] = intOne()
+	if !v.IsEntry(2) {
+		t.Error("e2 not recognized")
+	}
+	if v.IsEntry(1) {
+		t.Error("wrong entry accepted")
+	}
+	v[0] = intOne()
+	if v.IsEntry(2) {
+		t.Error("two-term vector accepted")
+	}
+}
+
+func TestVerifyLemma6ExhaustiveRejectsLargeB(t *testing.T) {
+	lad, err := Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyLemma6Exhaustive(lad); err == nil {
+		t.Error("b=23 exhaustive check should refuse")
+	}
+}

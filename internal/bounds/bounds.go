@@ -1,0 +1,247 @@
+// Package bounds evaluates the closed-form communication bounds of
+// Scott–Holtz–Schwartz (Theorem 1) and the classical comparators, both
+// as Θ-forms (constant 1, for shape comparisons) and with the explicit
+// constants the paper's proof yields (for certified counting).
+//
+// All quantities are in words (values moved), matching the machine model
+// of the paper: a two-level memory with fast memory of size M, or P
+// processors each with local memory M.
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+// Theorem1Sequential returns the Θ-form sequential I/O lower bound of
+// Theorem 1, (n/√M)^ω₀·M, for an algorithm of exponent ω₀ applied to
+// n×n matrices with cache size M. Valid in the regime M = o(n²); for
+// M ≥ n² the compulsory bound 3n² dominates and is returned instead.
+func Theorem1Sequential(omega0 float64, n, m float64) float64 {
+	if m <= 0 || n <= 0 {
+		return 0
+	}
+	compulsory := 3 * n * n
+	if m >= n*n {
+		return compulsory
+	}
+	return math.Max(math.Pow(n/math.Sqrt(m), omega0)*m, compulsory)
+}
+
+// Theorem1Parallel returns the Θ-form parallel bandwidth lower bound
+// (n/√M)^ω₀·M/P of Theorem 1.
+func Theorem1Parallel(omega0 float64, n, m float64, p int) float64 {
+	if p < 1 {
+		return 0
+	}
+	return Theorem1Sequential(omega0, n, m) / float64(p)
+}
+
+// MemoryIndependent returns the cache-independent bandwidth lower bound
+// of Theorem 1, n²/P^(2/ω₀), which holds regardless of M as long as the
+// computation is load balanced per rank of the CDAG.
+func MemoryIndependent(omega0 float64, n float64, p int) float64 {
+	if p < 1 {
+		return 0
+	}
+	return n * n / math.Pow(float64(p), 2/omega0)
+}
+
+// HongKungClassical returns the Θ-form classical lower bound n³/√M
+// (Hong & Kung 1981), the comparator excluded by the paper's ω₀ < 3
+// hypothesis. The refined constant 1/(2√2) of later work is applied so
+// the curve is usable for crossover estimates.
+func HongKungClassical(n, m float64) float64 {
+	if m <= 0 || n <= 0 {
+		return 0
+	}
+	return math.Max(n*n*n/(2*math.Sqrt2*math.Sqrt(m))-m, 3*n*n)
+}
+
+// ProofSequential returns the exact lower bound produced by the paper's
+// Section 6 argument with its unoptimized constants:
+//
+//	⌊ (3·aᵏ·b^(r−k) / b²) / 36M ⌋ · M,   k = ⌈log_a 72M⌉,
+//
+// or 0 when the regime condition k ≤ r−2 fails (M too large relative to
+// n — the bound is vacuous there, exactly as in the paper).
+func ProofSequential(alg *bilinear.Algorithm, r int, m int64) int64 {
+	a, b := int64(alg.A()), int64(alg.B())
+	k := ceilLog(a, 72*m)
+	if k > int64(r)-2 {
+		return 0
+	}
+	counted := 3 * pow(a, k) * pow(b, int64(r)-k) / (b * b)
+	return counted / (36 * m) * m
+}
+
+// ProofSection5Strassen returns the exact Section 5 bound for
+// Strassen's algorithm: ⌊4ᵏ·7^(r−k)/66M⌋·M with k = ⌈log₄ 132M⌉, or 0
+// out of regime.
+func ProofSection5Strassen(r int, m int64) int64 {
+	k := ceilLog(4, 132*m)
+	if k > int64(r) {
+		return 0
+	}
+	counted := pow(4, k) * pow(7, int64(r)-k)
+	return counted / (66 * m) * m
+}
+
+// DFSUpperBound estimates the I/O of the recursive depth-first blocked
+// schedule: recurse until a subproblem of dimension m̂ satisfies
+// 3m̂² ≤ M, then each base subproblem costs at most 3m̂² I/O (read two
+// operands, write the result):
+//
+//	IO(n) ≤ b^d · 3·(n/n₀^d)²,  d minimal with 3(n/n₀^d)² ≤ M,
+//
+// which is O((n/√M)^ω₀·M). This is the matching upper bound the paper
+// cites from Ballard et al. [3].
+func DFSUpperBound(alg *bilinear.Algorithm, n float64, m float64) float64 {
+	if 3*n*n <= m {
+		return 3 * n * n
+	}
+	n0 := float64(alg.N0)
+	b := float64(alg.B())
+	d := math.Ceil(math.Log(n/math.Sqrt(m/3)) / math.Log(n0))
+	if d < 0 {
+		d = 0
+	}
+	sub := n / math.Pow(n0, d)
+	return math.Pow(b, d) * 3 * sub * sub
+}
+
+// CrossoverN returns the matrix dimension n at which the fast
+// algorithm's Θ-form I/O bound drops below the classical bound for a
+// given cache size M (both evaluated with constant 1); below it the
+// classical algorithm moves fewer words, above it the fast algorithm
+// wins. Returns 0 when the fast bound is never smaller in [1, 2^40].
+func CrossoverN(omega0 float64, m float64) float64 {
+	if omega0 >= 3 {
+		return 0
+	}
+	// (n/√M)^ω₀·M < n³/√M  ⇔  n^(3-ω₀) > M^((3-ω₀)/2) · ... — solve
+	// directly: equality at n = M^((ω₀-1)/(2(ω₀-3)) ... easier to solve
+	// numerically by bisection on the ratio.
+	lo, hi := 1.0, math.Pow(2, 40)
+	f := func(n float64) bool {
+		return math.Pow(n/math.Sqrt(m), omega0)*m < n*n*n/math.Sqrt(m)
+	}
+	if !f(hi) {
+		return 0
+	}
+	if f(lo) {
+		return lo
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if f(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// RegimeOK reports whether (n, M) is inside Theorem 1's regime
+// M ≤ o(n²), approximated as the exact condition the proof needs:
+// k = ⌈log_a 72M⌉ ≤ r − 2.
+func RegimeOK(alg *bilinear.Algorithm, r int, m int64) bool {
+	return ceilLog(int64(alg.A()), 72*m) <= int64(r)-2
+}
+
+// KForM returns the paper's segment parameter k = ⌈log_a 72M⌉, the
+// smallest k with aᵏ ≥ 72M (i.e. aᵏ ≥ 2·36M).
+func KForM(alg *bilinear.Algorithm, m int64) int {
+	return int(ceilLog(int64(alg.A()), 72*m))
+}
+
+// ceilLog returns ⌈log_base(x)⌉ computed in integers.
+func ceilLog(base, x int64) int64 {
+	if base < 2 {
+		panic(fmt.Errorf("bounds: ceilLog base %d", base))
+	}
+	if x <= 1 {
+		return 0
+	}
+	var k int64
+	v := int64(1)
+	for v < x {
+		v *= base
+		k++
+	}
+	return k
+}
+
+// pow returns base^e for small nonnegative e.
+func pow(base, e int64) int64 {
+	p := int64(1)
+	for i := int64(0); i < e; i++ {
+		p *= base
+	}
+	return p
+}
+
+// ArithmeticOps returns the exact number of arithmetic operations
+// (scalar multiplications plus additions) the recursive algorithm
+// performs on n₀^r × n₀^r matrices, computed from the nonzero counts of
+// U, V, W: each recursion level performs one scalar operation per
+// nonzero per suffix, and the b^r base products one multiplication
+// each. Useful for Θ(n^ω₀) sanity checks and flop/word intensity.
+func ArithmeticOps(alg *bilinear.Algorithm, r int) int64 {
+	a, b := int64(alg.A()), int64(alg.B())
+	nnz := func(m [][]rat.Rat) int64 {
+		var c int64
+		for _, row := range m {
+			for _, x := range row {
+				if !x.IsZero() {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	encOps := nnz(alg.U) + nnz(alg.V)
+	decOps := nnz(alg.W)
+	var total int64
+	powB := int64(1) // b^j
+	powA := pow(a, int64(r))
+	for j := 1; j <= r; j++ {
+		powB *= b
+		powA /= a
+		// Encoding rank j: for each of b^(j-1) prefixes and a^(r-j)
+		// suffixes, one operation per nonzero of the applied row.
+		total += (powB / b) * powA * encOps
+		// Decoding rank j similarly.
+		total += (powB / b) * powA * decOps
+	}
+	total += pow(b, int64(r)) // the multiplications
+	return total
+}
+
+// MinFeasibleM returns the smallest cache size at which the pebble
+// machine can execute any schedule of the algorithm's CDAG: the largest
+// fan-in plus one (all parents and the result must be resident).
+func MinFeasibleM(alg *bilinear.Algorithm) int {
+	maxIn := 2 // product vertices have 2 parents
+	count := func(m [][]rat.Rat) {
+		for _, row := range m {
+			nnz := 0
+			for _, x := range row {
+				if !x.IsZero() {
+					nnz++
+				}
+			}
+			if nnz > maxIn {
+				maxIn = nnz
+			}
+		}
+	}
+	count(alg.U)
+	count(alg.V)
+	count(alg.W)
+	return maxIn + 1
+}

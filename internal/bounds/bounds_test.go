@@ -1,0 +1,227 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+)
+
+func TestTheorem1SequentialShape(t *testing.T) {
+	w := bilinear.Strassen().Omega0()
+	// Doubling n multiplies the bound by 2^ω₀ in the asymptotic regime.
+	m := 1024.0
+	b1 := Theorem1Sequential(w, 1<<12, m)
+	b2 := Theorem1Sequential(w, 1<<13, m)
+	ratio := b2 / b1
+	if math.Abs(ratio-math.Pow(2, w)) > 1e-9 {
+		t.Errorf("n-doubling ratio %v, want %v", ratio, math.Pow(2, w))
+	}
+	// Growing M lowers the bound (ω₀ > 2).
+	if Theorem1Sequential(w, 1<<12, 4*m) >= b1 {
+		t.Error("bound must decrease in M")
+	}
+	// Huge cache: compulsory floor.
+	n := 64.0
+	if got := Theorem1Sequential(w, n, n*n*10); got != 3*n*n {
+		t.Errorf("compulsory floor = %v", got)
+	}
+	if Theorem1Sequential(w, 0, m) != 0 || Theorem1Sequential(w, 64, 0) != 0 {
+		t.Error("degenerate inputs must be 0")
+	}
+}
+
+func TestParallelDividesByP(t *testing.T) {
+	w := bilinear.Strassen().Omega0()
+	seq := Theorem1Sequential(w, 1<<12, 1024)
+	if got := Theorem1Parallel(w, 1<<12, 1024, 16); math.Abs(got-seq/16) > 1e-9 {
+		t.Errorf("parallel bound %v", got)
+	}
+	if Theorem1Parallel(w, 1<<12, 1024, 0) != 0 {
+		t.Error("p=0 must be 0")
+	}
+}
+
+func TestMemoryIndependentScaling(t *testing.T) {
+	w := bilinear.Strassen().Omega0()
+	n := 4096.0
+	b1 := MemoryIndependent(w, n, 1)
+	if b1 != n*n {
+		t.Errorf("P=1 bound %v, want n²", b1)
+	}
+	// P-scaling exponent is 2/ω₀.
+	b4 := MemoryIndependent(w, n, 4)
+	want := n * n / math.Pow(4, 2/w)
+	if math.Abs(b4-want) > 1e-6 {
+		t.Errorf("P=4 bound %v, want %v", b4, want)
+	}
+}
+
+func TestHongKungDominatesFastBoundAtSmallN(t *testing.T) {
+	// Classical moves more words asymptotically: for fixed M, at large n
+	// the classical bound exceeds the Strassen bound.
+	w := bilinear.Strassen().Omega0()
+	m := 4096.0
+	n := math.Pow(2, 20)
+	if HongKungClassical(n, m) <= Theorem1Sequential(w, n, m) {
+		t.Error("classical bound must dominate at large n")
+	}
+}
+
+func TestProofSequentialRegime(t *testing.T) {
+	alg := bilinear.Strassen()
+	// In regime: r large relative to M.
+	if got := ProofSequential(alg, 20, 64); got <= 0 {
+		t.Errorf("in-regime proof bound %d", got)
+	}
+	// Out of regime: M huge.
+	if got := ProofSequential(alg, 4, 1<<40); got != 0 {
+		t.Errorf("out-of-regime proof bound %d", got)
+	}
+	// Bound is a multiple of M.
+	if got := ProofSequential(alg, 20, 64); got%64 != 0 {
+		t.Errorf("proof bound %d not a multiple of M", got)
+	}
+}
+
+func TestProofSection5Strassen(t *testing.T) {
+	if got := ProofSection5Strassen(20, 64); got <= 0 {
+		t.Errorf("section 5 bound %d", got)
+	}
+	// The general Section 6 constants are weaker (larger k, 1/b² loss):
+	// Section 5's Strassen-specific bound must be at least as strong.
+	if s5, s6 := ProofSection5Strassen(20, 64), ProofSequential(bilinear.Strassen(), 20, 64); s5 < s6 {
+		t.Errorf("section5 %d < section6 %d", s5, s6)
+	}
+}
+
+func TestDFSUpperBoundWithinConstantOfLowerBound(t *testing.T) {
+	// Upper and lower bounds must be within a constant factor — the
+	// optimality statement of the paper (via [3]). Check the ratio stays
+	// bounded as n grows.
+	alg := bilinear.Strassen()
+	w := alg.Omega0()
+	m := 4096.0
+	var prevRatio float64
+	for e := 10; e <= 24; e += 2 {
+		n := math.Pow(2, float64(e))
+		ub := DFSUpperBound(alg, n, m)
+		lb := Theorem1Sequential(w, n, m)
+		ratio := ub / lb
+		if ratio < 1 {
+			t.Errorf("n=2^%d: upper bound %v below lower bound %v", e, ub, lb)
+		}
+		if ratio > 200 {
+			t.Errorf("n=2^%d: ratio %v unbounded", e, ratio)
+		}
+		prevRatio = ratio
+	}
+	_ = prevRatio
+	// Tiny problem: fits in cache.
+	if got := DFSUpperBound(alg, 8, 1024); got != 3*64 {
+		t.Errorf("in-cache upper bound %v", got)
+	}
+}
+
+func TestCrossoverN(t *testing.T) {
+	w := bilinear.Strassen().Omega0()
+	m := 4096.0
+	n := CrossoverN(w, m)
+	if n <= 1 {
+		t.Fatalf("crossover %v", n)
+	}
+	// Just below: classical wins; just above: fast wins.
+	below, above := n/2, n*2
+	fast := func(x float64) float64 { return math.Pow(x/math.Sqrt(m), w) * m }
+	classical := func(x float64) float64 { return x * x * x / math.Sqrt(m) }
+	if fast(below) < classical(below) {
+		t.Errorf("below crossover fast already wins")
+	}
+	if fast(above) > classical(above) {
+		t.Errorf("above crossover fast still loses")
+	}
+	// Crossover grows with M.
+	if CrossoverN(w, 4*m) <= n {
+		t.Error("crossover must grow with M")
+	}
+	// Classical never crosses itself.
+	if CrossoverN(3.0, m) != 0 {
+		t.Error("ω₀=3 has no crossover")
+	}
+}
+
+func TestKForMMatchesDefinition(t *testing.T) {
+	alg := bilinear.Strassen() // a = 4
+	for _, m := range []int64{1, 2, 64, 1000, 4096} {
+		k := KForM(alg, m)
+		// Smallest k with 4^k ≥ 72M.
+		p := int64(1)
+		for i := 0; i < k; i++ {
+			p *= 4
+		}
+		if p < 72*m {
+			t.Errorf("M=%d: 4^%d = %d < 72M", m, k, p)
+		}
+		if k > 0 {
+			if p/4 >= 72*m {
+				t.Errorf("M=%d: k=%d not minimal", m, k)
+			}
+		}
+	}
+}
+
+func TestRegimeOK(t *testing.T) {
+	alg := bilinear.Strassen()
+	if !RegimeOK(alg, 20, 64) {
+		t.Error("r=20 M=64 must be in regime")
+	}
+	if RegimeOK(alg, 4, 1<<30) {
+		t.Error("tiny r huge M must be out of regime")
+	}
+}
+
+func TestCeilLogAndPow(t *testing.T) {
+	if ceilLog(4, 1) != 0 || ceilLog(4, 4) != 1 || ceilLog(4, 5) != 2 || ceilLog(2, 1024) != 10 {
+		t.Error("ceilLog wrong")
+	}
+	if pow(7, 3) != 343 || pow(5, 0) != 1 {
+		t.Error("pow wrong")
+	}
+}
+
+func TestArithmeticOpsStrassen(t *testing.T) {
+	alg := bilinear.Strassen()
+	// r=1: encoding nonzeros U=12, V=12; decoding W=12; products 7:
+	// total = 12+12+12+7 = 43.
+	if got := ArithmeticOps(alg, 1); got != 43 {
+		t.Errorf("r=1 ops = %d, want 43", got)
+	}
+	// Growth ratio approaches b = 7.
+	r5, r6 := ArithmeticOps(alg, 5), ArithmeticOps(alg, 6)
+	ratio := float64(r6) / float64(r5)
+	if ratio < 7 || ratio > 7.6 {
+		t.Errorf("ops growth %v, want ≈7", ratio)
+	}
+}
+
+func TestArithmeticOpsClassical(t *testing.T) {
+	alg := bilinear.Classical(2)
+	// Θ(n³) growth: the per-level ratio converges to b = 8 (from above,
+	// since the lower-order addition terms shrink relative to b^r).
+	r4, r5 := ArithmeticOps(alg, 4), ArithmeticOps(alg, 5)
+	ratio := float64(r5) / float64(r4)
+	if ratio < 7.8 || ratio > 8.4 {
+		t.Errorf("classical ops growth %v, want ≈8", ratio)
+	}
+}
+
+func TestMinFeasibleM(t *testing.T) {
+	// Strassen: widest row is C11 or the 4-term rows: 4 nonzeros → 5.
+	if got := MinFeasibleM(bilinear.Strassen()); got != 5 {
+		t.Errorf("strassen MinFeasibleM = %d, want 5", got)
+	}
+	// Classical: rows have 1 (enc) or n0 (dec) nonzeros → n0+1 = 3.
+	if got := MinFeasibleM(bilinear.Classical(2)); got != 3 {
+		t.Errorf("classical MinFeasibleM = %d, want 3", got)
+	}
+}

@@ -1,0 +1,788 @@
+// Package cdag builds the computation directed acyclic graph G_r of a
+// Strassen-like matrix multiplication algorithm applied recursively r
+// times, exactly as defined in Section 3 of Scott–Holtz–Schwartz,
+// "Matrix Multiplication I/O-Complexity by Path Routing" (SPAA 2015).
+//
+// # Structure
+//
+// G_r is a ranked DAG. For a base algorithm with a = n₀² inputs per
+// operand and b products:
+//
+//   - Encoding layers for A and for B at ranks j = 0..r. Rank 0 holds the
+//     a^r input entries; a vertex at rank j is labeled (t₁..t_j ;
+//     ι_{j+1}..ι_r) with t ∈ [b], ι ∈ [a] and computes the partial linear
+//     combination obtained by applying the encoding matrix to index slots
+//     1..j. Rank j has b^j·a^(r-j) vertices.
+//   - A multiplication layer of b^r product vertices (t₁..t_r), each the
+//     product of the two rank-r combinations with the same label.
+//   - Decoding layers at ranks j = 0..r, where rank 0 *is* the product
+//     layer and a vertex at rank j is labeled (t₁..t_{r-j} ;
+//     o_{r-j+1}..o_r): decoding is applied to index slots from the inside
+//     (slot r) out, which is what makes Fact 1 hold literally — the
+//     vertices of encoding ranks ≥ r-k and decoding ranks ≤ k partition
+//     by their first r-k product coordinates into b^(r-k) vertex-disjoint
+//     copies of G_k.
+//
+// Vertices are identified by dense integer IDs; parents and children are
+// computed arithmetically from the label structure in O(degree), so the
+// graph never materializes adjacency lists and G_r for hundreds of
+// thousands of vertices is cheap to traverse.
+//
+// # Copies and meta-vertices
+//
+// An encoding vertex whose last product coordinate t_j has a trivial
+// combination row (a single coefficient-1 entry) has exactly one parent
+// and the same value as it: a *copy*. Meta-vertices (the paper's grouping
+// of all vertices carrying one value) are represented by their root,
+// computed by MetaRoot; by Lemma 2 decoding vertices are never copies,
+// so every meta-vertex is a root plus a subtree of encoding copies.
+package cdag
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+// Kind identifies the layer family a vertex belongs to.
+type Kind uint8
+
+// The three layer families of G_r.
+const (
+	// EncA is the encoding graph of operand A.
+	EncA Kind = iota
+	// EncB is the encoding graph of operand B.
+	EncB
+	// Dec is the decoding graph; its rank 0 is the multiplication layer.
+	Dec
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EncA:
+		return "encA"
+	case EncB:
+		return "encB"
+	default:
+		return "dec"
+	}
+}
+
+// V is a vertex identifier in a particular Graph. IDs are dense in
+// [0, NumVertices()).
+type V int32
+
+// Edge is an incoming or outgoing edge with the linear coefficient
+// carried along it (coefficients on product-vertex edges are One; the
+// product vertex multiplies rather than sums).
+type Edge struct {
+	To    V
+	Coeff rat.Rat
+}
+
+// nz is a nonzero of a coefficient matrix, with the residue of the
+// coefficient cached for fast modular evaluation.
+type nz struct {
+	idx int
+	c   rat.Rat
+	cm  rat.Mod
+}
+
+// Graph is the CDAG G_r for Alg applied recursively R times.
+type Graph struct {
+	// Alg is the base algorithm the graph recurses on.
+	Alg *bilinear.Algorithm
+	// R is the number of recursion levels (R ≥ 1).
+	R int
+
+	a, b int
+	powA []int64 // powA[i] = a^i
+	powB []int64 // powB[i] = b^i
+
+	offEncA []int64 // offEncA[j] = first ID of EncA rank j
+	offEncB []int64
+	offDec  []int64
+	total   int64
+
+	// Sparse views of U, V, W.
+	uRows, vRows []([]nz) // per product t: entries e with nonzero coeff
+	wRows        []([]nz) // per output entry o: products t with nonzero coeff
+	uCols, vCols []([]nz) // per entry e: products t using it
+	wCols        []([]nz) // per product t: outputs o using it
+
+	// trivial[side][t] = entry e if product t's side combination is a
+	// bare coefficient-1 copy of e, else -1. Drives copy detection.
+	trivial [2][]int
+
+	// Lazily computed product-equivalence tables for value classes
+	// (see valueclass.go); repOnce makes initialization safe under
+	// concurrent use.
+	repOnce          sync.Once
+	repA, repB, repP []int32
+}
+
+// New builds G_r for the algorithm. It returns an error when r < 1 or
+// the graph would exceed the supported size (vertex IDs are int32).
+func New(alg *bilinear.Algorithm, r int) (*Graph, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("cdag: r = %d < 1", r)
+	}
+	a, b := alg.A(), alg.B()
+	// Size check: total vertices must fit comfortably in int32.
+	size := 0.0
+	for j := 0; j <= r; j++ {
+		size += 2 * math.Pow(float64(b), float64(j)) * math.Pow(float64(a), float64(r-j))
+		size += math.Pow(float64(a), float64(j)) * math.Pow(float64(b), float64(r-j))
+	}
+	if size > float64(math.MaxInt32)/2 {
+		return nil, fmt.Errorf("cdag: G_%d for %s has ~%.3g vertices; exceeds supported size", r, alg.Name, size)
+	}
+
+	g := &Graph{Alg: alg, R: r, a: a, b: b}
+	g.powA = powers(int64(a), r)
+	g.powB = powers(int64(b), r)
+
+	g.offEncA = make([]int64, r+2)
+	g.offEncB = make([]int64, r+2)
+	g.offDec = make([]int64, r+2)
+	var off int64
+	for j := 0; j <= r; j++ {
+		g.offEncA[j] = off
+		off += g.powB[j] * g.powA[r-j]
+	}
+	g.offEncA[r+1] = off
+	for j := 0; j <= r; j++ {
+		g.offEncB[j] = off
+		off += g.powB[j] * g.powA[r-j]
+	}
+	g.offEncB[r+1] = off
+	for j := 0; j <= r; j++ {
+		g.offDec[j] = off
+		off += g.powB[r-j] * g.powA[j]
+	}
+	g.offDec[r+1] = off
+	g.total = off
+
+	g.uRows = sparseRows(alg.U)
+	g.vRows = sparseRows(alg.V)
+	g.wRows = sparseRows(alg.W)
+	g.uCols = sparseCols(alg.U)
+	g.vCols = sparseCols(alg.V)
+	g.wCols = sparseCols(alg.W)
+
+	st := bilinear.Analyze(alg)
+	g.trivial[0] = st.TrivialCombo[bilinear.SideA]
+	g.trivial[1] = st.TrivialCombo[bilinear.SideB]
+	return g, nil
+}
+
+func powers(base int64, r int) []int64 {
+	p := make([]int64, r+1)
+	p[0] = 1
+	for i := 1; i <= r; i++ {
+		p[i] = p[i-1] * base
+	}
+	return p
+}
+
+func sparseRows(m [][]rat.Rat) [][]nz {
+	out := make([][]nz, len(m))
+	for i, row := range m {
+		for j, c := range row {
+			if !c.IsZero() {
+				out[i] = append(out[i], nz{idx: j, c: c, cm: c.Mod()})
+			}
+		}
+	}
+	return out
+}
+
+func sparseCols(m [][]rat.Rat) [][]nz {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([][]nz, len(m[0]))
+	for i, row := range m {
+		for j, c := range row {
+			if !c.IsZero() {
+				out[j] = append(out[j], nz{idx: i, c: c, cm: c.Mod()})
+			}
+		}
+	}
+	return out
+}
+
+// NumVertices returns the number of vertices of G_r.
+func (g *Graph) NumVertices() int { return int(g.total) }
+
+// A returns a = n₀².
+func (g *Graph) A() int { return g.a }
+
+// B returns the number of base products b.
+func (g *Graph) B() int { return g.b }
+
+// LayerSize returns the number of vertices in the given layer.
+func (g *Graph) LayerSize(kind Kind, rank int) int {
+	switch kind {
+	case EncA, EncB:
+		return int(g.powB[rank] * g.powA[g.R-rank])
+	default:
+		return int(g.powB[g.R-rank] * g.powA[rank])
+	}
+}
+
+// ID returns the vertex ID for (kind, rank, index). Index is the mixed
+// radix label: for encoding ranks, T·a^(r-j) + I with T the base-b
+// product prefix (t₁ most significant) and I the base-a entry suffix;
+// for decoding ranks, T·a^j + O with T the base-b prefix of length r-j
+// and O the base-a output suffix.
+func (g *Graph) ID(kind Kind, rank int, index int64) V {
+	if rank < 0 || rank > g.R {
+		panic(fmt.Errorf("cdag: rank %d out of range [0,%d]", rank, g.R))
+	}
+	var off int64
+	switch kind {
+	case EncA:
+		off = g.offEncA[rank]
+	case EncB:
+		off = g.offEncB[rank]
+	default:
+		off = g.offDec[rank]
+	}
+	n := int64(g.LayerSize(kind, rank))
+	if index < 0 || index >= n {
+		panic(fmt.Errorf("cdag: index %d out of range [0,%d) in %v rank %d", index, n, kind, rank))
+	}
+	return V(off + index)
+}
+
+// Locate returns the (kind, rank, index) of a vertex ID.
+func (g *Graph) Locate(v V) (Kind, int, int64) {
+	id := int64(v)
+	if id < 0 || id >= g.total {
+		panic(fmt.Errorf("cdag: vertex %d out of range [0,%d)", id, g.total))
+	}
+	locate := func(off []int64) (int, int64) {
+		// Linear scan over ≤ r+1 ranks; r is tiny.
+		for j := 0; ; j++ {
+			if id < off[j+1] {
+				return j, id - off[j]
+			}
+		}
+	}
+	switch {
+	case id < g.offEncA[g.R+1]:
+		rank, idx := locate(g.offEncA)
+		return EncA, rank, idx
+	case id < g.offEncB[g.R+1]:
+		rank, idx := locate(g.offEncB)
+		return EncB, rank, idx
+	default:
+		rank, idx := locate(g.offDec)
+		return Dec, rank, idx
+	}
+}
+
+// GlobalRank returns the vertex's rank in G_r's global ranking: encoding
+// ranks are 0..r, the multiplication layer (decoding rank 0) is r+1, and
+// decoding rank j is r+1+j; outputs sit at 2r+1.
+func (g *Graph) GlobalRank(v V) int {
+	kind, rank, _ := g.Locate(v)
+	if kind == Dec {
+		return g.R + 1 + rank
+	}
+	return rank
+}
+
+// IsInput reports whether v is an input entry of A or B.
+func (g *Graph) IsInput(v V) bool {
+	kind, rank, _ := g.Locate(v)
+	return (kind == EncA || kind == EncB) && rank == 0
+}
+
+// IsOutput reports whether v is an output entry of C.
+func (g *Graph) IsOutput(v V) bool {
+	kind, rank, _ := g.Locate(v)
+	return kind == Dec && rank == g.R
+}
+
+// IsProduct reports whether v is a multiplication vertex.
+func (g *Graph) IsProduct(v V) bool {
+	kind, rank, _ := g.Locate(v)
+	return kind == Dec && rank == 0
+}
+
+// InputA returns the input vertex for entry multi-index I (base-a digits
+// ι₁..ι_r packed most-significant-first).
+func (g *Graph) InputA(i int64) V { return g.ID(EncA, 0, i) }
+
+// InputB is InputA for operand B.
+func (g *Graph) InputB(i int64) V { return g.ID(EncB, 0, i) }
+
+// Output returns the output vertex for output multi-index O.
+func (g *Graph) Output(o int64) V { return g.ID(Dec, g.R, o) }
+
+// Product returns the multiplication vertex for product multi-index T.
+func (g *Graph) Product(t int64) V { return g.ID(Dec, 0, t) }
+
+// AppendParents appends v's incoming edges to buf and returns it.
+// Inputs have none; a product vertex has exactly its two rank-r
+// combinations; an encoding vertex at rank j sums over the nonzeros of
+// the base row of its last product coordinate; a decoding vertex at rank
+// j sums over the base decoding row of its last output coordinate.
+func (g *Graph) AppendParents(v V, buf []Edge) []Edge {
+	kind, rank, idx := g.Locate(v)
+	switch kind {
+	case EncA, EncB:
+		if rank == 0 {
+			return buf
+		}
+		rows := g.uRows
+		if kind == EncB {
+			rows = g.vRows
+		}
+		aPow := g.powA[g.R-rank]
+		t := idx / aPow % int64(g.b) // last product coordinate t_rank
+		tPrefix := idx / aPow / int64(g.b)
+		suffix := idx % aPow
+		childAPow := g.powA[g.R-rank+1]
+		for _, e := range rows[t] {
+			pIdx := tPrefix*childAPow + int64(e.idx)*aPow + suffix
+			buf = append(buf, Edge{To: g.ID(kind, rank-1, pIdx), Coeff: e.c})
+		}
+		return buf
+	default:
+		if rank == 0 {
+			// Multiplication vertex: parents are the two combinations.
+			buf = append(buf, Edge{To: g.ID(EncA, g.R, idx), Coeff: rat.One})
+			buf = append(buf, Edge{To: g.ID(EncB, g.R, idx), Coeff: rat.One})
+			return buf
+		}
+		oPow := g.powA[rank-1]
+		o := idx / oPow % int64(g.a) // last-decoded output coordinate o_{r-rank+1}
+		tPrefix := idx / oPow / int64(g.a)
+		suffix := idx % oPow
+		for _, e := range g.wRows[o] {
+			pIdx := (tPrefix*int64(g.b)+int64(e.idx))*oPow + suffix
+			buf = append(buf, Edge{To: g.ID(Dec, rank-1, pIdx), Coeff: e.c})
+		}
+		return buf
+	}
+}
+
+// Parents returns v's incoming edges in a fresh slice.
+func (g *Graph) Parents(v V) []Edge { return g.AppendParents(v, nil) }
+
+// AppendChildren appends v's outgoing edges to buf and returns it.
+func (g *Graph) AppendChildren(v V, buf []Edge) []Edge {
+	kind, rank, idx := g.Locate(v)
+	switch kind {
+	case EncA, EncB:
+		if rank == g.R {
+			// Rank-r combination feeds exactly its product vertex.
+			return append(buf, Edge{To: g.Product(idx), Coeff: rat.One})
+		}
+		cols := g.uCols
+		if kind == EncB {
+			cols = g.vCols
+		}
+		aPow := g.powA[g.R-rank]        // size of suffix at this rank
+		childAPow := g.powA[g.R-rank-1] // suffix size at rank+1
+		e := idx / childAPow % int64(g.a)
+		tPrefix := idx / aPow
+		suffix := idx % childAPow
+		for _, p := range cols[e] {
+			cIdx := (tPrefix*int64(g.b)+int64(p.idx))*childAPow + suffix
+			buf = append(buf, Edge{To: g.ID(kind, rank+1, cIdx), Coeff: p.c})
+		}
+		return buf
+	default:
+		if rank == g.R {
+			return buf
+		}
+		oPow := g.powA[rank]
+		t := idx / oPow % int64(g.b)
+		tPrefix := idx / oPow / int64(g.b)
+		suffix := idx % oPow
+		for _, p := range g.wCols[t] {
+			cIdx := tPrefix*oPow*int64(g.a) + int64(p.idx)*oPow + suffix
+			buf = append(buf, Edge{To: g.ID(Dec, rank+1, cIdx), Coeff: p.c})
+		}
+		return buf
+	}
+}
+
+// Children returns v's outgoing edges in a fresh slice.
+func (g *Graph) Children(v V) []Edge { return g.AppendChildren(v, nil) }
+
+// IsCopy reports whether v is a copy vertex: a single-parent vertex whose
+// edge coefficient is 1, carrying the same value as its parent. Only
+// encoding vertices can be copies (Lemma 2 rules decoding out), and
+// whether one is depends only on its last product coordinate.
+func (g *Graph) IsCopy(v V) bool {
+	kind, rank, idx := g.Locate(v)
+	if kind == Dec || rank == 0 {
+		return false
+	}
+	side := 0
+	if kind == EncB {
+		side = 1
+	}
+	t := idx / g.powA[g.R-rank] % int64(g.b)
+	return g.trivial[side][t] >= 0
+}
+
+// MetaRoot returns the root vertex of v's meta-vertex: v itself unless v
+// is a copy, in which case the walk follows copy edges downward to the
+// first non-copy vertex. All vertices carrying the same value share a
+// root; comparing MetaRoots implements the paper's meta-vertex
+// identification.
+func (g *Graph) MetaRoot(v V) V {
+	kind, rank, idx := g.Locate(v)
+	if kind == Dec {
+		return v
+	}
+	side := 0
+	if kind == EncB {
+		side = 1
+	}
+	for rank > 0 {
+		aPow := g.powA[g.R-rank]
+		t := idx / aPow % int64(g.b)
+		e := g.trivial[side][t]
+		if e < 0 {
+			break
+		}
+		tPrefix := idx / aPow / int64(g.b)
+		suffix := idx % aPow
+		idx = tPrefix*g.powA[g.R-rank+1] + int64(e)*aPow + suffix
+		rank--
+	}
+	return g.ID(kind, rank, idx)
+}
+
+// Label renders a human-readable label for a vertex, used in DOT output
+// and error messages, e.g. "encA r2 (t=3,5 | i=0)".
+func (g *Graph) Label(v V) string {
+	kind, rank, idx := g.Locate(v)
+	var tLen, iLen int
+	var iBase int64
+	switch kind {
+	case EncA, EncB:
+		tLen, iLen, iBase = rank, g.R-rank, int64(g.a)
+	default:
+		tLen, iLen, iBase = g.R-rank, rank, int64(g.a)
+	}
+	iPart := make([]int64, iLen)
+	rest := idx
+	for k := iLen - 1; k >= 0; k-- {
+		iPart[k] = rest % iBase
+		rest /= iBase
+	}
+	tPart := make([]int64, tLen)
+	for k := tLen - 1; k >= 0; k-- {
+		tPart[k] = rest % int64(g.b)
+		rest /= int64(g.b)
+	}
+	return fmt.Sprintf("%v r%d (t=%v | i=%v)", kind, rank, tPart, iPart)
+}
+
+// Digits unpacks a packed mixed-radix number into n base-base digits,
+// most significant first.
+func Digits(x int64, base int64, n int) []int {
+	d := make([]int, n)
+	for k := n - 1; k >= 0; k-- {
+		d[k] = int(x % base)
+		x /= base
+	}
+	return d
+}
+
+// Pack packs base-base digits (most significant first) into an int64.
+func Pack(digits []int, base int64) int64 {
+	var x int64
+	for _, d := range digits {
+		x = x*base + int64(d)
+	}
+	return x
+}
+
+// Evaluate computes every vertex value of G_r over GF(p), given the a^r
+// input residues of each operand (packed row-major by multi-index), and
+// returns the full value table indexed by vertex ID. Layer-by-layer
+// evaluation is a valid topological order.
+func (g *Graph) Evaluate(inA, inB []rat.Mod) []rat.Mod {
+	n := int(g.powA[g.R])
+	if len(inA) != n || len(inB) != n {
+		panic(fmt.Errorf("cdag: Evaluate wants %d inputs per operand, got %d/%d", n, len(inA), len(inB)))
+	}
+	val := make([]rat.Mod, g.total)
+	copy(val[g.offEncA[0]:], inA)
+	copy(val[g.offEncB[0]:], inB)
+
+	// Encoding ranks.
+	for _, kind := range []Kind{EncA, EncB} {
+		rows := g.uRows
+		off := g.offEncA
+		if kind == EncB {
+			rows = g.vRows
+			off = g.offEncB
+		}
+		for rank := 1; rank <= g.R; rank++ {
+			aPow := g.powA[g.R-rank]
+			childAPow := g.powA[g.R-rank+1]
+			layer := int64(g.LayerSize(kind, rank))
+			for idx := int64(0); idx < layer; idx++ {
+				t := idx / aPow % int64(g.b)
+				tPrefix := idx / aPow / int64(g.b)
+				suffix := idx % aPow
+				var s rat.Mod
+				for _, e := range rows[t] {
+					pv := val[off[rank-1]+tPrefix*childAPow+int64(e.idx)*aPow+suffix]
+					s = rat.ModAdd(s, rat.ModMul(e.cm, pv))
+				}
+				val[off[rank]+idx] = s
+			}
+		}
+	}
+	// Products.
+	for idx := int64(0); idx < g.powB[g.R]; idx++ {
+		val[g.offDec[0]+idx] = rat.ModMul(val[g.offEncA[g.R]+idx], val[g.offEncB[g.R]+idx])
+	}
+	// Decoding ranks.
+	for rank := 1; rank <= g.R; rank++ {
+		oPow := g.powA[rank-1]
+		layer := int64(g.LayerSize(Dec, rank))
+		for idx := int64(0); idx < layer; idx++ {
+			o := idx / oPow % int64(g.a)
+			tPrefix := idx / oPow / int64(g.a)
+			suffix := idx % oPow
+			var s rat.Mod
+			for _, e := range g.wRows[o] {
+				pv := val[g.offDec[rank-1]+(tPrefix*int64(g.b)+int64(e.idx))*oPow+suffix]
+				s = rat.ModAdd(s, rat.ModMul(e.cm, pv))
+			}
+			val[g.offDec[rank]+idx] = s
+		}
+	}
+	return val
+}
+
+// EntryIndex converts a (row, col) pair of the full n₀^r × n₀^r matrix
+// into the packed multi-index used by InputA/InputB/Output: slot l's
+// digit is row_l·n₀ + col_l where row_l, col_l are the base-n₀ digits of
+// row and col.
+func (g *Graph) EntryIndex(row, col int) int64 {
+	n0 := g.Alg.N0
+	rd := Digits(int64(row), int64(n0), g.R)
+	cd := Digits(int64(col), int64(n0), g.R)
+	var x int64
+	for l := 0; l < g.R; l++ {
+		x = x*int64(g.a) + int64(rd[l]*n0+cd[l])
+	}
+	return x
+}
+
+// N returns the full matrix dimension n₀^r.
+func (g *Graph) N() int {
+	n := 1
+	for i := 0; i < g.R; i++ {
+		n *= g.Alg.N0
+	}
+	return n
+}
+
+// Validate evaluates the CDAG on random inputs and compares every output
+// entry against direct classical multiplication over GF(p). It is the
+// end-to-end wiring check for the whole graph construction.
+func (g *Graph) Validate(rng *rand.Rand) error {
+	n := g.N()
+	matA := make([]rat.Mod, n*n)
+	matB := make([]rat.Mod, n*n)
+	for i := range matA {
+		matA[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+		matB[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+	}
+	inA := make([]rat.Mod, n*n)
+	inB := make([]rat.Mod, n*n)
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			idx := g.EntryIndex(row, col)
+			inA[idx] = matA[row*n+col]
+			inB[idx] = matB[row*n+col]
+		}
+	}
+	val := g.Evaluate(inA, inB)
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			var want rat.Mod
+			for k := 0; k < n; k++ {
+				want = rat.ModAdd(want, rat.ModMul(matA[row*n+k], matB[k*n+col]))
+			}
+			got := val[g.Output(g.EntryIndex(row, col))]
+			if got != want {
+				return fmt.Errorf("cdag: %s G_%d: output c[%d,%d] = %d, want %d",
+					g.Alg.Name, g.R, row, col, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the size of the graph.
+type Stats struct {
+	Vertices   int
+	Edges      int64
+	Inputs     int
+	Outputs    int
+	Products   int
+	CopyVerts  int
+	MetaVerts  int
+	MaxInDeg   int
+	MaxOutDeg  int
+	GlobalRank int // number of global ranks (2r+2)
+}
+
+// ComputeStats walks the whole graph once.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{
+		Vertices:   g.NumVertices(),
+		Inputs:     2 * int(g.powA[g.R]),
+		Outputs:    int(g.powA[g.R]),
+		Products:   int(g.powB[g.R]),
+		GlobalRank: 2*g.R + 2,
+	}
+	roots := make(map[V]struct{})
+	var buf []Edge
+	for v := V(0); int64(v) < g.total; v++ {
+		buf = g.AppendParents(v, buf[:0])
+		st.Edges += int64(len(buf))
+		if len(buf) > st.MaxInDeg {
+			st.MaxInDeg = len(buf)
+		}
+		buf = g.AppendChildren(v, buf[:0])
+		if len(buf) > st.MaxOutDeg {
+			st.MaxOutDeg = len(buf)
+		}
+		if g.IsCopy(v) {
+			st.CopyVerts++
+		}
+		roots[g.MetaRoot(v)] = struct{}{}
+	}
+	st.MetaVerts = len(roots)
+	return st
+}
+
+// MetaMembers returns every vertex of the meta-vertex rooted at root
+// (including root): the upward-facing subtree of copy vertices reached
+// from it. It panics if root is itself a copy (not a meta-vertex root).
+func (g *Graph) MetaMembers(root V) []V {
+	if g.IsCopy(root) {
+		panic(fmt.Errorf("cdag: MetaMembers of non-root %s", g.Label(root)))
+	}
+	members := []V{root}
+	var buf []Edge
+	for i := 0; i < len(members); i++ {
+		buf = g.AppendChildren(members[i], buf[:0])
+		for _, e := range buf {
+			if g.IsCopy(e.To) {
+				members = append(members, e.To)
+			}
+		}
+	}
+	return members
+}
+
+// EvaluateParallel is Evaluate with each layer computed by a pool of
+// workers (layers are the natural synchronization barriers: every
+// vertex of rank j depends only on rank j-1). workers ≤ 0 uses
+// GOMAXPROCS. Results are identical to Evaluate.
+func (g *Graph) EvaluateParallel(inA, inB []rat.Mod, workers int) []rat.Mod {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := int(g.powA[g.R])
+	if len(inA) != n || len(inB) != n {
+		panic(fmt.Errorf("cdag: EvaluateParallel wants %d inputs per operand, got %d/%d", n, len(inA), len(inB)))
+	}
+	val := make([]rat.Mod, g.total)
+	copy(val[g.offEncA[0]:], inA)
+	copy(val[g.offEncB[0]:], inB)
+
+	parallelFor := func(total int64, body func(lo, hi int64)) {
+		if total < int64(workers)*4 {
+			body(0, total)
+			return
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := total * int64(w) / int64(workers)
+			hi := total * int64(w+1) / int64(workers)
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int64) {
+				defer wg.Done()
+				body(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	for _, kind := range []Kind{EncA, EncB} {
+		rows := g.uRows
+		off := g.offEncA
+		if kind == EncB {
+			rows = g.vRows
+			off = g.offEncB
+		}
+		for rank := 1; rank <= g.R; rank++ {
+			aPow := g.powA[g.R-rank]
+			childAPow := g.powA[g.R-rank+1]
+			layer := int64(g.LayerSize(kind, rank))
+			parallelFor(layer, func(lo, hi int64) {
+				for idx := lo; idx < hi; idx++ {
+					t := idx / aPow % int64(g.b)
+					tPrefix := idx / aPow / int64(g.b)
+					suffix := idx % aPow
+					var s rat.Mod
+					for _, e := range rows[t] {
+						pv := val[off[rank-1]+tPrefix*childAPow+int64(e.idx)*aPow+suffix]
+						s = rat.ModAdd(s, rat.ModMul(e.cm, pv))
+					}
+					val[off[rank]+idx] = s
+				}
+			})
+		}
+	}
+	parallelFor(g.powB[g.R], func(lo, hi int64) {
+		for idx := lo; idx < hi; idx++ {
+			val[g.offDec[0]+idx] = rat.ModMul(val[g.offEncA[g.R]+idx], val[g.offEncB[g.R]+idx])
+		}
+	})
+	for rank := 1; rank <= g.R; rank++ {
+		oPow := g.powA[rank-1]
+		layer := int64(g.LayerSize(Dec, rank))
+		rr := rank
+		parallelFor(layer, func(lo, hi int64) {
+			for idx := lo; idx < hi; idx++ {
+				o := idx / oPow % int64(g.a)
+				tPrefix := idx / oPow / int64(g.a)
+				suffix := idx % oPow
+				var s rat.Mod
+				for _, e := range g.wRows[o] {
+					pv := val[g.offDec[rr-1]+(tPrefix*int64(g.b)+int64(e.idx))*oPow+suffix]
+					s = rat.ModAdd(s, rat.ModMul(e.cm, pv))
+				}
+				val[g.offDec[rr]+idx] = s
+			}
+		})
+	}
+	return val
+}

@@ -1,0 +1,550 @@
+package cdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+func mustGraph(t *testing.T, alg *bilinear.Algorithm, r int) *Graph {
+	t.Helper()
+	g, err := New(alg, r)
+	if err != nil {
+		t.Fatalf("New(%s, %d): %v", alg.Name, r, err)
+	}
+	return g
+}
+
+func TestNewRejectsBadR(t *testing.T) {
+	if _, err := New(bilinear.Strassen(), 0); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+	if _, err := New(bilinear.Strassen(), 40); err == nil {
+		t.Fatal("astronomically large graph accepted")
+	}
+}
+
+func TestLayerSizes(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	// Encoding rank j has 7^j·4^(3-j) vertices.
+	want := []int{64, 112, 196, 343}
+	for j, w := range want {
+		if got := g.LayerSize(EncA, j); got != w {
+			t.Errorf("encA rank %d size = %d, want %d", j, got, w)
+		}
+		if got := g.LayerSize(EncB, j); got != w {
+			t.Errorf("encB rank %d size = %d, want %d", j, got, w)
+		}
+	}
+	// Decoding rank j has 7^(3-j)·4^j vertices.
+	wantDec := []int{343, 196, 112, 64}
+	for j, w := range wantDec {
+		if got := g.LayerSize(Dec, j); got != w {
+			t.Errorf("dec rank %d size = %d, want %d", j, got, w)
+		}
+	}
+	total := 2*(64+112+196+343) + (343 + 196 + 112 + 64)
+	if g.NumVertices() != total {
+		t.Errorf("NumVertices = %d, want %d", g.NumVertices(), total)
+	}
+}
+
+func TestLocateIDRoundTrip(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		kind, rank, idx := g.Locate(v)
+		if got := g.ID(kind, rank, idx); got != v {
+			t.Fatalf("ID(Locate(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestParentsChildrenInverse(t *testing.T) {
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd(), bilinear.DisconnectedFast()} {
+		r := 2
+		g := mustGraph(t, alg, r)
+		// child lists must be the exact transpose of parent lists.
+		childCount := make(map[[2]V]rat.Rat)
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			for _, e := range g.Parents(v) {
+				childCount[[2]V{e.To, v}] = e.Coeff
+			}
+		}
+		seen := 0
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			for _, e := range g.Children(v) {
+				c, ok := childCount[[2]V{v, e.To}]
+				if !ok {
+					t.Fatalf("%s: child edge %d->%d has no parent edge", alg.Name, v, e.To)
+				}
+				if !c.Equal(e.Coeff) {
+					t.Fatalf("%s: edge %d->%d coeff mismatch %v vs %v", alg.Name, v, e.To, c, e.Coeff)
+				}
+				seen++
+			}
+		}
+		if seen != len(childCount) {
+			t.Fatalf("%s: %d child edges vs %d parent edges", alg.Name, seen, len(childCount))
+		}
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	g := mustGraph(t, bilinear.Winograd(), 3)
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		rv := g.GlobalRank(v)
+		for _, e := range g.Parents(v) {
+			if g.GlobalRank(e.To) != rv-1 {
+				t.Fatalf("parent rank %d, vertex rank %d", g.GlobalRank(e.To), rv)
+			}
+		}
+	}
+	// Outputs at rank 2r+1, inputs at 0.
+	if got := g.GlobalRank(g.Output(0)); got != 2*g.R+1 {
+		t.Errorf("output global rank = %d", got)
+	}
+	if got := g.GlobalRank(g.InputA(0)); got != 0 {
+		t.Errorf("input global rank = %d", got)
+	}
+	if got := g.GlobalRank(g.Product(0)); got != g.R+1 {
+		t.Errorf("product global rank = %d", got)
+	}
+}
+
+func TestInputOutputPredicates(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	if !g.IsInput(g.InputA(3)) || !g.IsInput(g.InputB(0)) {
+		t.Error("IsInput false on inputs")
+	}
+	if !g.IsOutput(g.Output(5)) {
+		t.Error("IsOutput false on output")
+	}
+	if !g.IsProduct(g.Product(11)) {
+		t.Error("IsProduct false on product")
+	}
+	if g.IsInput(g.Product(0)) || g.IsOutput(g.Product(0)) {
+		t.Error("product misclassified")
+	}
+	if len(g.Parents(g.InputA(0))) != 0 {
+		t.Error("input has parents")
+	}
+	if len(g.Children(g.Output(0))) != 0 {
+		t.Error("output has children")
+	}
+	if got := g.Parents(g.Product(5)); len(got) != 2 {
+		t.Errorf("product parents = %d, want 2", len(got))
+	}
+}
+
+func TestEvaluateMatchesClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		alg *bilinear.Algorithm
+		r   int
+	}{
+		{bilinear.Strassen(), 1},
+		{bilinear.Strassen(), 2},
+		{bilinear.Strassen(), 3},
+		{bilinear.Strassen(), 4},
+		{bilinear.Winograd(), 3},
+		{bilinear.Classical(2), 3},
+		{bilinear.Classical(3), 2},
+		{bilinear.StrassenSquared(), 2},
+		{bilinear.DisconnectedFast(), 2},
+	}
+	lad, err := bilinear.Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		alg *bilinear.Algorithm
+		r   int
+	}{lad, 2})
+	for _, c := range cases {
+		g := mustGraph(t, c.alg, c.r)
+		if err := g.Validate(rng); err != nil {
+			t.Errorf("%s r=%d: %v", c.alg.Name, c.r, err)
+		}
+	}
+}
+
+func TestCopiesCarrySameValue(t *testing.T) {
+	// The defining property of a meta-vertex: every member has the value
+	// of its root. Checked against a full numeric evaluation.
+	rng := rand.New(rand.NewSource(99))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Classical(2), bilinear.DisconnectedFast()} {
+		g := mustGraph(t, alg, 2)
+		n := g.N()
+		inA := make([]rat.Mod, n*n)
+		inB := make([]rat.Mod, n*n)
+		for i := range inA {
+			inA[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+			inB[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+		}
+		val := g.Evaluate(inA, inB)
+		copies := 0
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			root := g.MetaRoot(v)
+			if val[v] != val[root] {
+				t.Fatalf("%s: vertex %s value %d differs from root %s value %d",
+					alg.Name, g.Label(v), val[v], g.Label(root), val[root])
+			}
+			if g.IsCopy(v) {
+				copies++
+				if root == v {
+					t.Fatalf("%s: copy vertex %d is its own root", alg.Name, v)
+				}
+			} else if root != v {
+				t.Fatalf("%s: non-copy vertex %d has root %d", alg.Name, v, root)
+			}
+		}
+		if alg.Name != "classical2" && copies == 0 {
+			t.Errorf("%s: expected some copy vertices", alg.Name)
+		}
+	}
+}
+
+func TestMetaRootIdempotent(t *testing.T) {
+	g := mustGraph(t, bilinear.DisconnectedFast(), 2)
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		r := g.MetaRoot(v)
+		if g.MetaRoot(r) != r {
+			t.Fatalf("MetaRoot not idempotent at %d", v)
+		}
+	}
+}
+
+func TestCopyIsSingleParentCoeffOne(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		if !g.IsCopy(v) {
+			continue
+		}
+		ps := g.Parents(v)
+		if len(ps) != 1 || !ps[0].Coeff.IsOne() {
+			t.Fatalf("copy %s has parents %v", g.Label(v), ps)
+		}
+	}
+}
+
+func TestSubcomputationPartition(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	for _, k := range []int{1, 2} {
+		gk := mustGraph(t, bilinear.Strassen(), k)
+		sizes := map[int64]int{}
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			i := g.Subcomputation(v, k)
+			if i < 0 {
+				continue
+			}
+			sizes[i]++
+			prefix, local := g.Project(gk, v)
+			if prefix != i {
+				t.Fatalf("Project prefix %d vs Subcomputation %d", prefix, i)
+			}
+			if back := g.Embed(gk, local, prefix); back != v {
+				t.Fatalf("Embed(Project(%d)) = %d", v, back)
+			}
+		}
+		// Fact 1: b^(r-k) copies, each of the size of G_k's middle
+		// 2(k+1) levels (its full vertex set).
+		nCopies := 1
+		for i := 0; i < g.R-k; i++ {
+			nCopies *= 7
+		}
+		if len(sizes) != nCopies {
+			t.Fatalf("k=%d: %d subcomputations, want %d", k, len(sizes), nCopies)
+		}
+		for i, s := range sizes {
+			if s != gk.NumVertices() {
+				t.Fatalf("k=%d: copy %d has %d vertices, want %d", k, i, s, gk.NumVertices())
+			}
+		}
+	}
+}
+
+func TestSubcomputationEdgesStayInside(t *testing.T) {
+	// Vertex-disjoint copies: an edge between two middle-level vertices
+	// stays within one copy.
+	g := mustGraph(t, bilinear.Winograd(), 3)
+	k := 1
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		i := g.Subcomputation(v, k)
+		if i < 0 {
+			continue
+		}
+		for _, e := range g.Parents(v) {
+			j := g.Subcomputation(e.To, k)
+			if j >= 0 && j != i {
+				t.Fatalf("edge %d->%d crosses subcomputations %d->%d", e.To, v, j, i)
+			}
+		}
+	}
+}
+
+func TestSubInputsOutputs(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	gk := mustGraph(t, bilinear.Strassen(), 2)
+	ins := g.SubInputs(3, 2)
+	if len(ins) != 2*16 {
+		t.Fatalf("SubInputs size %d, want 32", len(ins))
+	}
+	for _, v := range ins {
+		if g.Subcomputation(v, 2) != 3 {
+			t.Fatalf("SubInput not in subcomputation 3")
+		}
+		_, local := g.Project(gk, v)
+		if !gk.IsInput(local) {
+			t.Fatalf("SubInput does not project to an input of G_k")
+		}
+	}
+	outs := g.SubOutputs(3, 2)
+	if len(outs) != 16 {
+		t.Fatalf("SubOutputs size %d, want 16", len(outs))
+	}
+	for _, v := range outs {
+		_, local := g.Project(gk, v)
+		if !gk.IsOutput(local) {
+			t.Fatalf("SubOutput does not project to an output of G_k")
+		}
+	}
+}
+
+func TestLemma1InputDisjointDensity(t *testing.T) {
+	// Lemma 1: at least a 1/b² fraction of the b^(r-k) subcomputations
+	// can be chosen mutually input-disjoint (hypothesis: some vertex of
+	// each encoding graph is non-duplicated, true for all fast catalog
+	// algorithms).
+	cases := []struct {
+		alg *bilinear.Algorithm
+		r   int
+		k   int
+	}{
+		{bilinear.Strassen(), 3, 1},
+		{bilinear.Strassen(), 4, 1},
+		{bilinear.Strassen(), 4, 2},
+		{bilinear.Winograd(), 3, 1},
+	}
+	for _, c := range cases {
+		g := mustGraph(t, c.alg, c.r)
+		picked := g.InputDisjointCollection(c.k)
+		nSub := 1
+		for i := 0; i < c.r-c.k; i++ {
+			nSub *= c.alg.B()
+		}
+		bound := nSub / (c.alg.B() * c.alg.B())
+		if len(picked) < bound {
+			t.Errorf("%s r=%d k=%d: greedy picked %d < Lemma 1 bound %d",
+				c.alg.Name, c.r, c.k, len(picked), bound)
+		}
+		// Verify actual disjointness.
+		seen := map[V]struct{}{}
+		for _, p := range picked {
+			for _, root := range g.InputMetaRoots(p, c.k) {
+				if _, dup := seen[root]; dup {
+					t.Fatalf("%s: collection not input-disjoint", c.alg.Name)
+				}
+				seen[root] = struct{}{}
+			}
+		}
+	}
+}
+
+func TestInputMetaRootsDedup(t *testing.T) {
+	// In classical2, both products touching an input are bare copies, so
+	// sub-inputs of different subcomputations can share meta-roots and
+	// the per-subcomputation root set must be deduplicated.
+	g := mustGraph(t, bilinear.Classical(2), 3)
+	roots := g.InputMetaRoots(0, 1)
+	for i := 1; i < len(roots); i++ {
+		if roots[i] == roots[i-1] {
+			t.Fatal("InputMetaRoots not deduplicated")
+		}
+	}
+}
+
+func TestCountedRanks(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	k := 1
+	if !g.CountedRanks(g.ID(Dec, k, 0), k) {
+		t.Error("decoding rank k must be counted")
+	}
+	if !g.CountedRanks(g.ID(EncA, g.R-k, 0), k) {
+		t.Error("encoding rank r-k must be counted")
+	}
+	if g.CountedRanks(g.Product(0), k) {
+		t.Error("products are not on counted ranks for k=1")
+	}
+}
+
+func TestDigitsPack(t *testing.T) {
+	for _, x := range []int64{0, 1, 5, 48, 342} {
+		d := Digits(x, 7, 3)
+		if got := Pack(d, 7); got != x {
+			t.Errorf("Pack(Digits(%d)) = %d", x, got)
+		}
+	}
+}
+
+func TestEntryIndexBijective(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	n := g.N()
+	if n != 8 {
+		t.Fatalf("N = %d", n)
+	}
+	seen := map[int64]bool{}
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			idx := g.EntryIndex(row, col)
+			if seen[idx] {
+				t.Fatalf("EntryIndex collision at (%d,%d)", row, col)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	st := g.ComputeStats()
+	if st.Vertices != g.NumVertices() {
+		t.Error("stats vertex count")
+	}
+	if st.Inputs != 32 || st.Outputs != 16 || st.Products != 49 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.CopyVerts == 0 {
+		t.Error("Strassen G_2 has copy vertices")
+	}
+	if st.MetaVerts != st.Vertices-st.CopyVerts {
+		t.Errorf("meta-vertices %d != vertices %d - copies %d", st.MetaVerts, st.Vertices, st.CopyVerts)
+	}
+	if st.MaxInDeg < 2 || st.Edges == 0 {
+		t.Errorf("stats degrees: %+v", st)
+	}
+}
+
+func TestLabelIsInformative(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	l := g.Label(g.ID(EncA, 1, 5))
+	if l == "" {
+		t.Fatal("empty label")
+	}
+}
+
+func TestValueRootSharing(t *testing.T) {
+	// Strassen has no reused combination rows; the tensor with the
+	// classical algorithm does.
+	gs := mustGraph(t, bilinear.Strassen(), 2)
+	if gs.HasValueSharing() {
+		t.Error("strassen must not share values beyond copies")
+	}
+	gd := mustGraph(t, bilinear.DisconnectedFast(), 2)
+	if !gd.HasValueSharing() {
+		t.Error("disconnected56 must share combination values")
+	}
+}
+
+func TestValueRootCarriesSameValue(t *testing.T) {
+	// The defining property: every vertex evaluates to the value of its
+	// value-class representative, even across distinct products reusing
+	// a combination.
+	rng := rand.New(rand.NewSource(123))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Classical(2), bilinear.DisconnectedFast()} {
+		g := mustGraph(t, alg, 2)
+		n := g.N()
+		inA := make([]rat.Mod, n*n)
+		inB := make([]rat.Mod, n*n)
+		for i := range inA {
+			inA[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+			inB[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+		}
+		val := g.Evaluate(inA, inB)
+		merged := 0
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			root := g.ValueRoot(v)
+			if val[v] != val[root] {
+				t.Fatalf("%s: %s value %d != value-root %s value %d",
+					alg.Name, g.Label(v), val[v], g.Label(root), val[root])
+			}
+			if root != g.MetaRoot(v) {
+				merged++
+			}
+		}
+		if alg.Name == "disconnected56" && merged == 0 {
+			t.Error("disconnected56: value classes never merged beyond meta-vertices")
+		}
+		if alg.Name == "strassen" && merged != 0 {
+			t.Error("strassen: unexpected value merging")
+		}
+	}
+}
+
+func TestValueRootIdempotent(t *testing.T) {
+	g := mustGraph(t, bilinear.DisconnectedFast(), 2)
+	for v := V(0); int(v) < g.NumVertices(); v += 7 {
+		root := g.ValueRoot(v)
+		if g.ValueRoot(root) != root {
+			t.Fatalf("ValueRoot not idempotent at %s", g.Label(v))
+		}
+	}
+}
+
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.DisconnectedFast()} {
+		r := 3
+		if alg.A() >= 16 {
+			r = 2
+		}
+		g := mustGraph(t, alg, r)
+		n := g.N()
+		inA := make([]rat.Mod, n*n)
+		inB := make([]rat.Mod, n*n)
+		for i := range inA {
+			inA[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+			inB[i] = rat.Mod(rng.Int63n(int64(rat.ModP)))
+		}
+		want := g.Evaluate(inA, inB)
+		for _, workers := range []int{1, 3, 0} {
+			got := g.EvaluateParallel(inA, inB, workers)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s workers=%d: vertex %d differs", alg.Name, workers, v)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateCatchesWiringCorruption(t *testing.T) {
+	// Building a CDAG from an algebraically wrong algorithm must fail
+	// numeric validation: the graph faithfully computes whatever the
+	// coefficients say, and the check compares against true matmul.
+	alg := bilinear.Strassen()
+	alg.W[2][1] = alg.W[2][1].Add(rat.One) // corrupt one decoding coefficient
+	g := mustGraph(t, alg, 2)
+	if err := g.Validate(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("corrupted algorithm passed CDAG validation")
+	}
+}
+
+func TestDeterministicEvaluation(t *testing.T) {
+	g := mustGraph(t, bilinear.Winograd(), 2)
+	n := g.N()
+	inA := make([]rat.Mod, n*n)
+	inB := make([]rat.Mod, n*n)
+	for i := range inA {
+		inA[i] = rat.Mod(i + 1)
+		inB[i] = rat.Mod(2*i + 3)
+	}
+	v1 := g.Evaluate(inA, inB)
+	v2 := g.Evaluate(inA, inB)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("evaluation not deterministic")
+		}
+	}
+}

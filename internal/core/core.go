@@ -1,0 +1,278 @@
+// Package core assembles the paper's primary contribution — the
+// path-routing lower-bound argument of Sections 5–6 of
+// Scott–Holtz–Schwartz (SPAA 2015) — into an executable, machine-checked
+// proof over explicit computation graphs.
+//
+// Given a CDAG G_r, a concrete schedule, and the paper's segment
+// parameters (k, M), Certify:
+//
+//  1. selects a collection C of mutually input-disjoint subcomputations
+//     G_k^i (Lemma 1, constructive greedy form),
+//  2. cuts the schedule into minimal segments S each containing at
+//     least 36M counted vertices — vertices on decoding rank k or
+//     encoding rank r−k lying in C, counted through meta-vertex closure
+//     exactly as the paper prescribes,
+//  3. computes δ′(S′) for every complete segment and checks
+//     Equation (2): |δ′(S′)| ≥ |S̄|/12, hence ≥ 3M, hence the segment
+//     performs at least M I/Os,
+//  4. optionally re-derives step 3 for sampled segments from first
+//     principles — embedding the Routing Theorem's 6aᵏ-routing into
+//     each subcomputation, counting boundary-crossing paths, and
+//     checking the chain |P| ≥ ½aᵏ|S̄| and |δ′(S′)| ≥ |P|/6aᵏ,
+//  5. reports the certified lower bound (#complete segments)·M, which
+//     any execution of the schedule must pay; callers cross-check it
+//     against pebble-simulator measurements.
+package core
+
+import (
+	"fmt"
+
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/pebble"
+	"pathrouting/internal/routing"
+)
+
+// Options configures Certify.
+type Options struct {
+	// K is the paper's subcomputation size parameter; it must satisfy
+	// 1 ≤ K ≤ r. The regime condition of the theorem additionally wants
+	// K ≤ r−2 (so Lemma 1 applies); Certify enforces only K ≤ r and
+	// reports the collection size it achieved.
+	K int
+	// M is the cache size being certified against. The paper's segment
+	// constants require aᴷ ≥ 72M; Certify rejects parameters violating
+	// it (the inequality |S̄| ≤ ½aᴷ underlying Equation (2) would not be
+	// guaranteed).
+	M int64
+	// DeepSegments, when positive, re-derives Equation (2) for up to
+	// this many segments via explicit routing-path counting (step 4).
+	DeepSegments int
+	// RelaxedTarget, when positive, replaces the paper's 36M quota with
+	// this value (which must satisfy RelaxedTarget ≤ aᴷ/2) and verifies
+	// Equation (2) only, without certifying an I/O bound. This lets the
+	// combinatorial core of the proof be exercised on graphs too small
+	// for the paper's unoptimized constants. M is ignored.
+	RelaxedTarget int64
+}
+
+// SegmentReport records the verification of one complete segment.
+type SegmentReport struct {
+	// Start and End delimit the schedule positions of the segment.
+	Start, End int
+	// Counted is |S̄|, the number of counted vertices.
+	Counted int64
+	// DeltaMeta is |δ′(S′)|.
+	DeltaMeta int64
+	// CrossingPaths is the routing-path count of the deep verification,
+	// 0 when the segment was not deep-checked.
+	CrossingPaths int64
+}
+
+// Certificate is the outcome of the executable lower-bound argument.
+type Certificate struct {
+	// K and M echo the options.
+	K int
+	M int64
+	// Target is the per-segment counted quota, 36M.
+	Target int64
+	// CollectionSize is the number of mutually input-disjoint
+	// subcomputations selected (Lemma 1 guarantees ≥ b^(r−k)/b² exist
+	// when k ≤ r−2).
+	CollectionSize int
+	// CountedTotal is the total number of counted vertices available.
+	CountedTotal int64
+	// CompleteSegments is the number of segments meeting the quota.
+	CompleteSegments int
+	// MinDeltaRatio is the minimum over complete segments of
+	// |δ′(S′)| / |S̄| (Equation (2) asserts ≥ 1/12).
+	MinDeltaRatio float64
+	// CertifiedIO is the proven lower bound: CompleteSegments · M.
+	CertifiedIO int64
+	// Segments holds the per-segment reports.
+	Segments []SegmentReport
+}
+
+// Certify runs the argument on the given schedule. It returns an error
+// if the parameters are out of range or if any machine-checked
+// inequality of the proof fails (which would falsify the paper's claim
+// on this instance).
+func Certify(g *cdag.Graph, sched []cdag.V, opts Options) (*Certificate, error) {
+	r := g.R
+	if opts.K < 1 || opts.K > r {
+		return nil, fmt.Errorf("core: K = %d out of range [1,%d]", opts.K, r)
+	}
+	aK := int64(1)
+	for i := 0; i < opts.K; i++ {
+		aK *= int64(g.A())
+	}
+	relaxed := opts.RelaxedTarget > 0
+	var target int64
+	if relaxed {
+		target = opts.RelaxedTarget
+		if target > aK/2 {
+			return nil, fmt.Errorf("core: relaxed target %d > aᴷ/2 = %d", target, aK/2)
+		}
+		opts.M = 0
+	} else {
+		if opts.M < 1 {
+			return nil, fmt.Errorf("core: M = %d < 1", opts.M)
+		}
+		if aK < 72*opts.M {
+			return nil, fmt.Errorf("core: aᴷ = %d < 72M = %d: segment constants need a larger K", aK, 72*opts.M)
+		}
+		target = 36 * opts.M
+	}
+	cert := &Certificate{K: opts.K, M: opts.M, Target: target, MinDeltaRatio: 1e18}
+
+	// Step 1: Lemma 1 — input-disjoint collection.
+	collection := g.InputDisjointCollection(opts.K)
+	cert.CollectionSize = len(collection)
+	if len(collection) == 0 {
+		return nil, fmt.Errorf("core: no input-disjoint subcomputations at K = %d", opts.K)
+	}
+	inC := make(map[int64]struct{}, len(collection))
+	for _, p := range collection {
+		inC[p] = struct{}{}
+	}
+
+	// Counted weight per meta-vertex root: the number of counted
+	// vertices (decoding rank k or encoding rank r−k, inside C) in the
+	// root's meta-vertex. Adding any member of the meta-vertex to S
+	// contributes the root's full weight to |S̄| exactly once.
+	weight := make(map[cdag.V]int64)
+	addCounted := func(v cdag.V) {
+		if sub := g.Subcomputation(v, opts.K); sub >= 0 {
+			if _, ok := inC[sub]; ok {
+				weight[g.MetaRoot(v)]++
+				cert.CountedTotal++
+			}
+		}
+	}
+	for _, kind := range []cdag.Kind{cdag.EncA, cdag.EncB} {
+		n := int64(g.LayerSize(kind, r-opts.K))
+		for i := int64(0); i < n; i++ {
+			addCounted(g.ID(kind, r-opts.K, i))
+		}
+	}
+	nDec := int64(g.LayerSize(cdag.Dec, opts.K))
+	for i := int64(0); i < nDec; i++ {
+		addCounted(g.ID(cdag.Dec, opts.K, i))
+	}
+	if cert.CountedTotal < cert.Target {
+		return nil, fmt.Errorf("core: only %d counted vertices for target %d; shrink M or grow r",
+			cert.CountedTotal, cert.Target)
+	}
+	maxWeight := int64(0)
+	for _, w := range weight {
+		if w > maxWeight {
+			maxWeight = w
+		}
+	}
+	if cert.Target+maxWeight-1 > aK/2 {
+		return nil, fmt.Errorf(
+			"core: quota %d plus worst meta-vertex weight %d can exceed aᴷ/2 = %d; |S̄| ≤ ½aᴷ would be unguaranteed",
+			cert.Target, maxWeight, aK/2)
+	}
+
+	// Step 2: minimal segments with |S̄| ≥ 36M, counting each
+	// meta-vertex once per segment.
+	type seg struct {
+		start, end int
+		counted    int64
+	}
+	var segs []seg
+	seen := make(map[cdag.V]struct{})
+	start, acc := 0, int64(0)
+	for pos, v := range sched {
+		root := g.MetaRoot(v)
+		if _, dup := seen[root]; !dup {
+			seen[root] = struct{}{}
+			if w, ok := weight[root]; ok {
+				acc += w
+			}
+		}
+		if acc >= cert.Target {
+			segs = append(segs, seg{start, pos + 1, acc})
+			start, acc = pos+1, 0
+			clear(seen)
+		}
+	}
+	// (The trailing partial segment is not certified — as in the paper.)
+
+	// Step 3: Equation (2) for every complete segment.
+	var gk *cdag.Graph
+	var router *routing.Router
+	if opts.DeepSegments > 0 {
+		var err error
+		gk, err = cdag.New(g.Alg, opts.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: deep verification graph: %w", err)
+		}
+		router, err = routing.NewRouter(gk)
+		if err != nil {
+			return nil, fmt.Errorf("core: deep verification router: %w", err)
+		}
+	}
+	deepBudget := opts.DeepSegments
+	for _, sg := range segs {
+		s := pebble.MetaClosure(g, sched[sg.start:sg.end])
+		b := pebble.ComputeBoundary(g, s)
+		rep := SegmentReport{Start: sg.start, End: sg.end, Counted: sg.counted, DeltaMeta: b.DeltaMeta}
+		ratio := float64(b.DeltaMeta) / float64(sg.counted)
+		if ratio < cert.MinDeltaRatio {
+			cert.MinDeltaRatio = ratio
+		}
+		if 12*b.DeltaMeta < sg.counted {
+			return cert, fmt.Errorf(
+				"core: Equation (2) fails on segment [%d,%d): |δ′(S′)| = %d < |S̄|/12 = %d/12",
+				sg.start, sg.end, b.DeltaMeta, sg.counted)
+		}
+		if !relaxed && b.DeltaMeta < 3*opts.M {
+			return cert, fmt.Errorf(
+				"core: segment [%d,%d): |δ′(S′)| = %d < 3M = %d", sg.start, sg.end, b.DeltaMeta, 3*opts.M)
+		}
+		// Step 4: deep routing-based derivation on a budget.
+		if deepBudget > 0 {
+			deepBudget--
+			crossings, err := deepVerify(g, gk, router, collection, s, sg.counted, b.DeltaMeta, opts.K)
+			if err != nil {
+				return cert, err
+			}
+			rep.CrossingPaths = crossings
+		}
+		cert.Segments = append(cert.Segments, rep)
+		cert.CompleteSegments++
+	}
+	cert.CertifiedIO = int64(cert.CompleteSegments) * opts.M
+	return cert, nil
+}
+
+// deepVerify re-derives Equation (2) for one segment from the Routing
+// Theorem: embeds the 6aᵏ-routing in every collection subcomputation,
+// counts boundary-crossing paths |P|, and checks |P| ≥ ½aᵏ·|S̄| and
+// 6aᵏ·|δ′(S′)| ≥ |P|.
+func deepVerify(g *cdag.Graph, gk *cdag.Graph, router *routing.Router,
+	collection []int64, s pebble.Set, counted int64, deltaMeta int64, k int) (int64, error) {
+	aK := int64(1)
+	for i := 0; i < k; i++ {
+		aK *= int64(g.A())
+	}
+	var total int64
+	for _, prefix := range collection {
+		p := prefix
+		crossings := router.CountBoundaryCrossing(func(v cdag.V) bool {
+			return s.Has(g.Embed(gk, v, p))
+		})
+		total += crossings
+	}
+	if 2*total < aK*counted {
+		return total, fmt.Errorf(
+			"core: routing argument fails: %d boundary-crossing paths < ½aᵏ|S̄| = %d",
+			total, aK*counted/2)
+	}
+	if 6*aK*deltaMeta < total {
+		return total, fmt.Errorf(
+			"core: meta-hit bound fails: 6aᵏ·|δ′| = %d < |P| = %d", 6*aK*deltaMeta, total)
+	}
+	return total, nil
+}

@@ -1,0 +1,116 @@
+package expansion
+
+import (
+	"testing"
+
+	"pathrouting/internal/bilinear"
+)
+
+func TestPathGraphExpansion(t *testing.T) {
+	// Path on 4 vertices: worst cut is half the path, 1 edge / 2 vertices.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	h, _ := g.EdgeExpansion()
+	if h != 0.5 {
+		t.Errorf("path expansion %v, want 0.5", h)
+	}
+	if !g.Connected() {
+		t.Error("path not connected")
+	}
+}
+
+func TestDisconnectedExpansionZero(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	h, mask := g.EdgeExpansion()
+	if h != 0 {
+		t.Errorf("expansion %v, want 0", h)
+	}
+	if g.CutSize(mask) != 0 {
+		t.Error("witness mask not a zero cut")
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestCompleteGraphExpansion(t *testing.T) {
+	// K4: any S with |S| = 2 cuts 4 edges: h = 2.
+	g := NewGraph(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	h, _ := g.EdgeExpansion()
+	if h != 2 {
+		t.Errorf("K4 expansion %v, want 2", h)
+	}
+}
+
+func TestStrassenDecodingHasPositiveExpansion(t *testing.T) {
+	rep := Analyze(bilinear.Strassen())
+	if !rep.DecodingConnected || rep.DecodingExpansion <= 0 {
+		t.Errorf("strassen decoding: connected=%v h=%v", rep.DecodingConnected, rep.DecodingExpansion)
+	}
+	if !rep.EdgeExpansionUsable {
+		t.Error("edge-expansion technique must apply to Strassen")
+	}
+}
+
+func TestClassicalDecodingExpansionZero(t *testing.T) {
+	rep := Analyze(bilinear.Classical(2))
+	if rep.DecodingConnected {
+		t.Error("classical decoding must be disconnected")
+	}
+	if rep.DecodingExpansion != 0 {
+		t.Errorf("classical decoding expansion %v, want 0", rep.DecodingExpansion)
+	}
+	if rep.EdgeExpansionUsable {
+		t.Error("edge-expansion technique must fail for classical")
+	}
+}
+
+func TestDisconnectedFastMotivation(t *testing.T) {
+	// The paper's raison d'être: a fast algorithm on which the prior
+	// technique fails (zero-expansion decoding) but the routing
+	// machinery of this repository succeeds (see internal/routing).
+	rep := Analyze(bilinear.DisconnectedFast())
+	if rep.EdgeExpansionUsable {
+		t.Error("edge-expansion technique must fail for disconnected56")
+	}
+	if rep.DecodingConnected {
+		t.Error("disconnected56 decoding must be disconnected")
+	}
+	if rep.DecodingExpansion != 0 {
+		t.Errorf("expansion %v, want 0 (reported via connectivity)", rep.DecodingExpansion)
+	}
+}
+
+func TestWinogradUsable(t *testing.T) {
+	rep := Analyze(bilinear.Winograd())
+	if !rep.EdgeExpansionUsable {
+		t.Error("edge expansion applies to Winograd's variant")
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGraph(0) },
+		func() { NewGraph(3).AddEdge(0, 3) },
+		func() { NewGraph(3).AddEdge(1, 1) },
+		func() { NewGraph(30).EdgeExpansion() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,257 @@
+// Package hall provides a Dinic max-flow solver and, on top of it, the
+// many-to-one capacitated bipartite matching of Theorem 3 (Hall's
+// Matching Theorem, many-to-one version) in Scott–Holtz–Schwartz:
+// given a bipartite graph (X, Y) in which every D ⊆ X satisfies
+// |N(D)| ≥ |D|/p, there is a matching using every x ∈ X exactly once and
+// every y ∈ Y at most p times. The package computes such matchings
+// constructively and, when none exists, extracts a witness set D
+// violating the Hall condition (the certificate the paper's Lemma 5
+// argument turns into an impossible fast matrix-vector algorithm).
+package hall
+
+import "fmt"
+
+// Dinic is a max-flow solver on a directed graph with integer
+// capacities. Vertices are 0..n-1.
+type Dinic struct {
+	n     int
+	to    []int
+	cap   []int
+	next  []int
+	head  []int
+	level []int
+	iter  []int
+}
+
+// NewDinic returns a solver for n vertices.
+func NewDinic(n int) *Dinic {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &Dinic{n: n, head: h}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity and returns
+// its edge index (usable with Residual after a Flow call).
+func (d *Dinic) AddEdge(u, v, capacity int) int {
+	if u < 0 || u >= d.n || v < 0 || v >= d.n {
+		panic(fmt.Errorf("hall: edge (%d,%d) out of range n=%d", u, v, d.n))
+	}
+	id := len(d.to)
+	d.to = append(d.to, v)
+	d.cap = append(d.cap, capacity)
+	d.next = append(d.next, d.head[u])
+	d.head[u] = id
+	// Reverse edge.
+	d.to = append(d.to, u)
+	d.cap = append(d.cap, 0)
+	d.next = append(d.next, d.head[v])
+	d.head[v] = id + 1
+	return id
+}
+
+// Residual returns the remaining capacity of edge id.
+func (d *Dinic) Residual(id int) int { return d.cap[id] }
+
+// FlowOn returns the flow pushed through edge id (its reverse residual).
+func (d *Dinic) FlowOn(id int) int { return d.cap[id^1] }
+
+func (d *Dinic) bfs(s, t int) bool {
+	d.level = make([]int, d.n)
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := []int{s}
+	d.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := d.head[u]; e != -1; e = d.next[e] {
+			if d.cap[e] > 0 && d.level[d.to[e]] < 0 {
+				d.level[d.to[e]] = d.level[u] + 1
+				queue = append(queue, d.to[e])
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+func (d *Dinic) dfs(u, t, f int) int {
+	if u == t {
+		return f
+	}
+	for ; d.iter[u] != -1; d.iter[u] = d.next[d.iter[u]] {
+		e := d.iter[u]
+		v := d.to[e]
+		if d.cap[e] > 0 && d.level[v] == d.level[u]+1 {
+			got := d.dfs(v, t, min(f, d.cap[e]))
+			if got > 0 {
+				d.cap[e] -= got
+				d.cap[e^1] += got
+				return got
+			}
+		}
+	}
+	return 0
+}
+
+// Flow computes the maximum s→t flow. It may be called once per graph.
+func (d *Dinic) Flow(s, t int) int {
+	flow := 0
+	for d.bfs(s, t) {
+		d.iter = make([]int, d.n)
+		copy(d.iter, d.head)
+		for {
+			f := d.dfs(s, t, 1<<30)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// ReachableInResidual returns the set of vertices reachable from s in
+// the residual graph after Flow; it defines the source side of a minimum
+// cut.
+func (d *Dinic) ReachableInResidual(s int) []bool {
+	seen := make([]bool, d.n)
+	seen[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := d.head[u]; e != -1; e = d.next[e] {
+			if d.cap[e] > 0 && !seen[d.to[e]] {
+				seen[d.to[e]] = true
+				stack = append(stack, d.to[e])
+			}
+		}
+	}
+	return seen
+}
+
+// Matching is the result of ManyToOne: Match[x] is the y assigned to x,
+// and Ok reports whether every x was matched. When Ok is false,
+// Violation is a nonempty D ⊆ X with |N(D)| < |D|/p, the Hall-condition
+// witness; its neighborhood is in ViolationN.
+type Matching struct {
+	Match      []int
+	Ok         bool
+	Violation  []int
+	ViolationN []int
+}
+
+// ManyToOne computes a many-to-one matching from X (size nX) into Y
+// (size nY) where x may be matched to any y in adj(x) and each y is used
+// at most capY(y) times. With capY ≡ p this is exactly the matching of
+// the paper's Theorem 3.
+func ManyToOne(nX, nY int, adj func(x int) []int, capY func(y int) int) Matching {
+	// Nodes: 0 = source, 1..nX = X, nX+1..nX+nY = Y, nX+nY+1 = sink.
+	s, t := 0, nX+nY+1
+	d := NewDinic(nX + nY + 2)
+	xEdge := make([]int, nX)
+	type pair struct{ edge, y int }
+	xOut := make([][]pair, nX)
+	for x := 0; x < nX; x++ {
+		xEdge[x] = d.AddEdge(s, 1+x, 1)
+		for _, y := range adj(x) {
+			if y < 0 || y >= nY {
+				panic(fmt.Errorf("hall: adj(%d) returned y=%d out of range", x, y))
+			}
+			id := d.AddEdge(1+x, 1+nX+y, 1)
+			xOut[x] = append(xOut[x], pair{id, y})
+		}
+	}
+	for y := 0; y < nY; y++ {
+		d.AddEdge(1+nX+y, t, capY(y))
+	}
+	flow := d.Flow(s, t)
+
+	m := Matching{Match: make([]int, nX), Ok: flow == nX}
+	for x := range m.Match {
+		m.Match[x] = -1
+		for _, p := range xOut[x] {
+			if d.FlowOn(p.edge) > 0 {
+				m.Match[x] = p.y
+				break
+			}
+		}
+	}
+	if !m.Ok {
+		// Min-cut witness: X-vertices reachable from the source in the
+		// residual graph form a violating set (all their capacity to Y
+		// is saturated into a too-small neighborhood).
+		reach := d.ReachableInResidual(s)
+		for x := 0; x < nX; x++ {
+			if reach[1+x] {
+				m.Violation = append(m.Violation, x)
+			}
+		}
+		ySeen := map[int]bool{}
+		for _, x := range m.Violation {
+			for _, p := range xOut[x] {
+				if !ySeen[p.y] {
+					ySeen[p.y] = true
+					m.ViolationN = append(m.ViolationN, p.y)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// CheckHall exhaustively verifies the capacitated Hall condition
+// Σ_{y∈N(D)} cap(y) ≥ |D| for every nonempty D ⊆ X. It is exponential
+// in nX and intended for base graphs (nX ≤ ~20). It returns nil when
+// the condition holds and a violating subset otherwise.
+func CheckHall(nX, nY int, adj func(x int) []int, capY func(y int) int) []int {
+	if nX > 24 {
+		panic(fmt.Errorf("hall: CheckHall is exhaustive; nX=%d too large", nX))
+	}
+	adjMask := make([]uint64, nX)
+	for x := 0; x < nX; x++ {
+		for _, y := range adj(x) {
+			adjMask[x] |= 1 << uint(y)
+		}
+	}
+	capOf := make([]int, nY)
+	for y := 0; y < nY; y++ {
+		capOf[y] = capY(y)
+	}
+	for mask := uint64(1); mask < 1<<uint(nX); mask++ {
+		var nMask uint64
+		size := 0
+		for x := 0; x < nX; x++ {
+			if mask&(1<<uint(x)) != 0 {
+				size++
+				nMask |= adjMask[x]
+			}
+		}
+		capSum := 0
+		for y := 0; y < nY; y++ {
+			if nMask&(1<<uint(y)) != 0 {
+				capSum += capOf[y]
+			}
+		}
+		if capSum < size {
+			var d []int
+			for x := 0; x < nX; x++ {
+				if mask&(1<<uint(x)) != 0 {
+					d = append(d, x)
+				}
+			}
+			return d
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

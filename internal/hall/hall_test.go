@@ -1,0 +1,288 @@
+package hall
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDinicSimple(t *testing.T) {
+	// s -> a -> t with caps 3, 2: flow 2.
+	d := NewDinic(3)
+	d.AddEdge(0, 1, 3)
+	d.AddEdge(1, 2, 2)
+	if got := d.Flow(0, 2); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+}
+
+func TestDinicParallelPaths(t *testing.T) {
+	// Classic diamond with cross edge.
+	d := NewDinic(4)
+	d.AddEdge(0, 1, 10)
+	d.AddEdge(0, 2, 10)
+	d.AddEdge(1, 2, 1)
+	d.AddEdge(1, 3, 8)
+	d.AddEdge(2, 3, 10)
+	if got := d.Flow(0, 3); got != 18 {
+		t.Fatalf("flow = %d, want 18", got)
+	}
+}
+
+func TestDinicDisconnected(t *testing.T) {
+	d := NewDinic(4)
+	d.AddEdge(0, 1, 5)
+	d.AddEdge(2, 3, 5)
+	if got := d.Flow(0, 3); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestDinicRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDinic(2).AddEdge(0, 5, 1)
+}
+
+func TestFlowOnAndResidual(t *testing.T) {
+	d := NewDinic(2)
+	id := d.AddEdge(0, 1, 7)
+	if got := d.Flow(0, 1); got != 7 {
+		t.Fatalf("flow = %d", got)
+	}
+	if d.FlowOn(id) != 7 || d.Residual(id) != 0 {
+		t.Fatalf("FlowOn=%d Residual=%d", d.FlowOn(id), d.Residual(id))
+	}
+}
+
+func TestManyToOnePerfect(t *testing.T) {
+	// X = 4, Y = 2, capacity 2 each, complete bipartite: must match all.
+	adj := func(x int) []int { return []int{0, 1} }
+	m := ManyToOne(4, 2, adj, func(int) int { return 2 })
+	if !m.Ok {
+		t.Fatal("matching should exist")
+	}
+	used := map[int]int{}
+	for x, y := range m.Match {
+		if y < 0 {
+			t.Fatalf("x=%d unmatched", x)
+		}
+		used[y]++
+	}
+	for y, c := range used {
+		if c > 2 {
+			t.Fatalf("y=%d used %d times", y, c)
+		}
+	}
+}
+
+func TestManyToOneRespectesAdjacency(t *testing.T) {
+	adjList := [][]int{{0}, {0, 1}, {1}}
+	adj := func(x int) []int { return adjList[x] }
+	m := ManyToOne(3, 2, adj, func(int) int { return 2 })
+	if !m.Ok {
+		t.Fatal("matching should exist")
+	}
+	for x, y := range m.Match {
+		found := false
+		for _, cand := range adjList[x] {
+			if cand == y {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("x=%d matched outside adjacency to %d", x, y)
+		}
+	}
+}
+
+func TestManyToOneInfeasibleGivesWitness(t *testing.T) {
+	// 3 X-vertices all adjacent only to y=0 with capacity 2: infeasible.
+	adj := func(x int) []int { return []int{0} }
+	m := ManyToOne(3, 2, adj, func(y int) int { return 2 })
+	if m.Ok {
+		t.Fatal("matching should not exist")
+	}
+	if len(m.Violation) == 0 {
+		t.Fatal("no violation witness")
+	}
+	// The witness D must violate: Σ cap(N(D)) < |D|.
+	capSum := 2 * len(m.ViolationN)
+	if capSum >= len(m.Violation) {
+		t.Fatalf("witness not violating: |D|=%d capN=%d", len(m.Violation), capSum)
+	}
+}
+
+func TestCheckHallAgreesWithMatching(t *testing.T) {
+	// Randomized cross-check: the exhaustive Hall check succeeds exactly
+	// when the flow-based matching exists.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nX := 1 + rng.Intn(8)
+		nY := 1 + rng.Intn(5)
+		adjList := make([][]int, nX)
+		for x := range adjList {
+			for y := 0; y < nY; y++ {
+				if rng.Intn(3) == 0 {
+					adjList[x] = append(adjList[x], y)
+				}
+			}
+		}
+		capy := 1 + rng.Intn(2)
+		adj := func(x int) []int { return adjList[x] }
+		capf := func(int) int { return capy }
+		viol := CheckHall(nX, nY, adj, capf)
+		m := ManyToOne(nX, nY, adj, capf)
+		if (viol == nil) != m.Ok {
+			t.Fatalf("trial %d: CheckHall viol=%v but matching ok=%v (nX=%d nY=%d cap=%d adj=%v)",
+				trial, viol, m.Ok, nX, nY, capy, adjList)
+		}
+		if viol != nil {
+			// Verify the witness really violates.
+			nSet := map[int]bool{}
+			for _, x := range viol {
+				for _, y := range adjList[x] {
+					nSet[y] = true
+				}
+			}
+			if capy*len(nSet) >= len(viol) {
+				t.Fatalf("trial %d: CheckHall returned non-violating witness", trial)
+			}
+		}
+	}
+}
+
+func TestCheckHallTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for huge nX")
+		}
+	}()
+	CheckHall(30, 2, func(int) []int { return nil }, func(int) int { return 1 })
+}
+
+func TestManyToOneQuickConservation(t *testing.T) {
+	// Property: whenever Ok, every x matched within adjacency and no y
+	// over capacity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nX := 1 + rng.Intn(10)
+		nY := 1 + rng.Intn(6)
+		adjList := make([][]int, nX)
+		for x := range adjList {
+			for y := 0; y < nY; y++ {
+				if rng.Intn(2) == 0 {
+					adjList[x] = append(adjList[x], y)
+				}
+			}
+		}
+		caps := make([]int, nY)
+		for y := range caps {
+			caps[y] = rng.Intn(3)
+		}
+		m := ManyToOne(nX, nY, func(x int) []int { return adjList[x] }, func(y int) int { return caps[y] })
+		if !m.Ok {
+			return len(m.Violation) > 0
+		}
+		used := make([]int, nY)
+		for x, y := range m.Match {
+			if y < 0 {
+				return false
+			}
+			ok := false
+			for _, c := range adjList[x] {
+				if c == y {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+			used[y]++
+		}
+		for y := range used {
+			if used[y] > caps[y] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopcroftKarpAgreesWithDinic(t *testing.T) {
+	// Two independent matchers must agree on feasibility and matching
+	// size for random capacitated instances.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		nX := 1 + rng.Intn(10)
+		nY := 1 + rng.Intn(6)
+		adjList := make([][]int, nX)
+		for x := range adjList {
+			for y := 0; y < nY; y++ {
+				if rng.Intn(3) == 0 {
+					adjList[x] = append(adjList[x], y)
+				}
+			}
+		}
+		caps := make([]int, nY)
+		for y := range caps {
+			caps[y] = rng.Intn(3)
+		}
+		adj := func(x int) []int { return adjList[x] }
+		capf := func(y int) int { return caps[y] }
+		size, match := HopcroftKarp(nX, nY, adj, capf)
+		m := ManyToOne(nX, nY, adj, capf)
+		if (size == nX) != m.Ok {
+			t.Fatalf("trial %d: HK size %d/%d but Dinic ok=%v", trial, size, nX, m.Ok)
+		}
+		// HK assignment must respect adjacency and capacities.
+		use := make([]int, nY)
+		for x, y := range match {
+			if y < 0 {
+				continue
+			}
+			ok := false
+			for _, c := range adjList[x] {
+				if c == y {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: HK matched outside adjacency", trial)
+			}
+			use[y]++
+		}
+		for y := range use {
+			if use[y] > caps[y] {
+				t.Fatalf("trial %d: HK overloaded y=%d", trial, y)
+			}
+		}
+	}
+}
+
+func TestHopcroftKarpSimple(t *testing.T) {
+	size, match := HopcroftKarp(3, 2,
+		func(x int) []int { return []int{0, 1} },
+		func(int) int { return 2 })
+	if size != 3 {
+		t.Fatalf("size %d", size)
+	}
+	for x, y := range match {
+		if y < 0 {
+			t.Fatalf("x=%d unmatched", x)
+		}
+	}
+	// Infeasible: three x's into one slot.
+	size, _ = HopcroftKarp(3, 1,
+		func(x int) []int { return []int{0} },
+		func(int) int { return 1 })
+	if size != 1 {
+		t.Fatalf("infeasible size %d", size)
+	}
+}

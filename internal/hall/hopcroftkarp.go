@@ -1,0 +1,104 @@
+package hall
+
+// A second, independent matcher: Hopcroft–Karp bipartite matching on
+// the capacity-expanded graph (each y duplicated cap(y) times). It
+// cross-validates the Dinic-based ManyToOne: the two implementations
+// must agree on feasibility for every instance, and the tests hold them
+// to that.
+
+// HopcroftKarp computes a maximum matching from X (size nX) into Y
+// (size nY) where each y may be used at most capY(y) times, returning
+// the matching size and the per-x assignment (-1 when unmatched).
+func HopcroftKarp(nX, nY int, adj func(x int) []int, capY func(y int) int) (int, []int) {
+	// Expand Y into slots.
+	slotOf := make([][]int, nY) // y -> expanded slot ids
+	nSlots := 0
+	for y := 0; y < nY; y++ {
+		c := capY(y)
+		for i := 0; i < c; i++ {
+			slotOf[y] = append(slotOf[y], nSlots)
+			nSlots++
+		}
+	}
+	adjSlots := make([][]int, nX)
+	for x := 0; x < nX; x++ {
+		for _, y := range adj(x) {
+			adjSlots[x] = append(adjSlots[x], slotOf[y]...)
+		}
+	}
+	slotToY := make([]int, nSlots)
+	for y, slots := range slotOf {
+		for _, s := range slots {
+			slotToY[s] = y
+		}
+	}
+
+	const inf = int32(1 << 30)
+	matchX := make([]int, nX)
+	matchS := make([]int, nSlots)
+	for i := range matchX {
+		matchX[i] = -1
+	}
+	for i := range matchS {
+		matchS[i] = -1
+	}
+	dist := make([]int32, nX)
+
+	bfs := func() bool {
+		queue := make([]int, 0, nX)
+		for x := 0; x < nX; x++ {
+			if matchX[x] < 0 {
+				dist[x] = 0
+				queue = append(queue, x)
+			} else {
+				dist[x] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, s := range adjSlots[x] {
+				nx := matchS[s]
+				if nx < 0 {
+					found = true
+				} else if dist[nx] == inf {
+					dist[nx] = dist[x] + 1
+					queue = append(queue, nx)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(x int) bool
+	dfs = func(x int) bool {
+		for _, s := range adjSlots[x] {
+			nx := matchS[s]
+			if nx < 0 || (dist[nx] == dist[x]+1 && dfs(nx)) {
+				matchX[x] = s
+				matchS[s] = x
+				return true
+			}
+		}
+		dist[x] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for x := 0; x < nX; x++ {
+			if matchX[x] < 0 && dfs(x) {
+				size++
+			}
+		}
+	}
+	out := make([]int, nX)
+	for x := range out {
+		if matchX[x] < 0 {
+			out[x] = -1
+		} else {
+			out[x] = slotToY[matchX[x]]
+		}
+	}
+	return size, out
+}

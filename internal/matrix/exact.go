@@ -1,0 +1,151 @@
+package matrix
+
+// Exact rational matrices: the same classical/fast multiplication over
+// the field Q instead of float64. Used to demonstrate that the
+// recombination arithmetic of Strassen-like algorithms is exact (no
+// stability caveats enter any claim of the paper) and as a reference
+// oracle in tests.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+// Exact is a row-major matrix over the rationals.
+type Exact struct {
+	Rows, Cols int
+	Data       []rat.Rat
+}
+
+// NewExact returns a zero rational matrix.
+func NewExact(rows, cols int) *Exact {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Errorf("matrix: negative shape %d×%d", rows, cols))
+	}
+	return &Exact{Rows: rows, Cols: cols, Data: make([]rat.Rat, rows*cols)}
+}
+
+// RandomExact returns a matrix of small random rationals (numerators in
+// [-9, 9], denominators in [1, 4]).
+func RandomExact(rows, cols int, rng *rand.Rand) *Exact {
+	m := NewExact(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rat.New(rng.Int63n(19)-9, rng.Int63n(4)+1)
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m *Exact) At(i, j int) rat.Rat { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Exact) Set(i, j int, v rat.Rat) { m.Data[i*m.Cols+j] = v }
+
+// Equal reports exact entrywise equality.
+func (m *Exact) Equal(o *Exact) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if !m.Data[i].Equal(o.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MulExact multiplies classically over Q.
+func MulExact(a, b *Exact) *Exact {
+	if a.Cols != b.Rows {
+		panic(fmt.Errorf("matrix: MulExact shapes %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewExact(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik.IsZero() {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				if bv := b.At(k, j); !bv.IsZero() {
+					c.Set(i, j, c.At(i, j).Add(aik.Mul(bv)))
+				}
+			}
+		}
+	}
+	return c
+}
+
+// FastExact multiplies two square rational matrices with the recursive
+// Strassen-like algorithm, exactly. The dimension must be a power of n₀
+// times the cutoff reachability (no padding: exactness demos use exact
+// shapes).
+func FastExact(alg *bilinear.Algorithm, a, b *Exact, cutoff int) *Exact {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		panic(fmt.Errorf("matrix: FastExact wants equal square matrices"))
+	}
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	return fastExactRec(alg, a, b, cutoff)
+}
+
+func fastExactRec(alg *bilinear.Algorithm, a, b *Exact, cutoff int) *Exact {
+	n := a.Rows
+	if n <= cutoff || n%alg.N0 != 0 {
+		return MulExact(a, b)
+	}
+	n0 := alg.N0
+	sub := n / n0
+	blockA := make([]*Exact, n0*n0)
+	blockB := make([]*Exact, n0*n0)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n0; j++ {
+			blockA[i*n0+j] = exactBlock(a, i, j, sub)
+			blockB[i*n0+j] = exactBlock(b, i, j, sub)
+		}
+	}
+	products := make([]*Exact, alg.B())
+	for t := 0; t < alg.B(); t++ {
+		la := exactCombine(alg.U[t], blockA, sub)
+		lb := exactCombine(alg.V[t], blockB, sub)
+		products[t] = fastExactRec(alg, la, lb, cutoff)
+	}
+	c := NewExact(n, n)
+	for o := 0; o < n0*n0; o++ {
+		co := exactCombine(alg.W[o], products, sub)
+		for i := 0; i < sub; i++ {
+			for j := 0; j < sub; j++ {
+				c.Set((o/n0)*sub+i, (o%n0)*sub+j, co.At(i, j))
+			}
+		}
+	}
+	return c
+}
+
+func exactBlock(m *Exact, bi, bj, sub int) *Exact {
+	out := NewExact(sub, sub)
+	for i := 0; i < sub; i++ {
+		for j := 0; j < sub; j++ {
+			out.Set(i, j, m.At(bi*sub+i, bj*sub+j))
+		}
+	}
+	return out
+}
+
+func exactCombine(coeffs []rat.Rat, blocks []*Exact, sub int) *Exact {
+	out := NewExact(sub, sub)
+	for idx, c := range coeffs {
+		if c.IsZero() {
+			continue
+		}
+		blk := blocks[idx]
+		for i := range out.Data {
+			out.Data[i] = out.Data[i].Add(c.Mul(blk.Data[i]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+func TestMulExactSmall(t *testing.T) {
+	a := NewExact(2, 2)
+	a.Set(0, 0, rat.New(1, 2))
+	a.Set(0, 1, rat.Int(2))
+	a.Set(1, 0, rat.Int(3))
+	a.Set(1, 1, rat.New(-1, 3))
+	b := NewExact(2, 2)
+	b.Set(0, 0, rat.Int(4))
+	b.Set(1, 1, rat.Int(6))
+	c := MulExact(a, b)
+	if !c.At(0, 0).Equal(rat.Int(2)) || !c.At(0, 1).Equal(rat.Int(12)) ||
+		!c.At(1, 0).Equal(rat.Int(12)) || !c.At(1, 1).Equal(rat.Int(-2)) {
+		t.Fatalf("c = %v", c.Data)
+	}
+}
+
+func TestFastExactEqualsClassicalExactly(t *testing.T) {
+	// The point of the exact demo: Strassen-like recombination over Q
+	// is *exactly* equal to classical multiplication, entry for entry,
+	// with zero tolerance.
+	rng := rand.New(rand.NewSource(8))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd()} {
+		for _, n := range []int{4, 8, 16} {
+			a, b := RandomExact(n, n, rng), RandomExact(n, n, rng)
+			want := MulExact(a, b)
+			got := FastExact(alg, a, b, 2)
+			if !got.Equal(want) {
+				t.Fatalf("%s n=%d: exact mismatch", alg.Name, n)
+			}
+		}
+	}
+}
+
+func TestFastExactLaderman(t *testing.T) {
+	lad, err := bilinear.Laderman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	a, b := RandomExact(9, 9, rng), RandomExact(9, 9, rng)
+	if !FastExact(lad, a, b, 3).Equal(MulExact(a, b)) {
+		t.Fatal("laderman exact mismatch")
+	}
+}
+
+func TestExactEqualShapeMismatch(t *testing.T) {
+	if NewExact(2, 2).Equal(NewExact(2, 3)) {
+		t.Fatal("shape mismatch equal")
+	}
+}
+
+func TestExactPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewExact(-1, 2) },
+		func() { MulExact(NewExact(2, 3), NewExact(2, 3)) },
+		func() { FastExact(bilinear.Strassen(), NewExact(2, 3), NewExact(3, 2), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

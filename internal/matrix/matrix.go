@@ -1,0 +1,329 @@
+// Package matrix provides the dense numeric substrate of the
+// reproduction: float64 matrices with classical, cache-blocked, and
+// recursive fast multiplication, the latter driven by any bilinear
+// algorithm from the catalog. It grounds the combinatorial results in
+// executable arithmetic (every CDAG and routing statement is about the
+// dependencies of exactly these computations) and powers the crossover
+// benchmarks of classical versus Strassen-like multiplication.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/rat"
+)
+
+// Dense is a row-major n×m matrix of float64.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zero matrix of the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Errorf("matrix: negative shape %d×%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Random returns a matrix with entries uniform in [-1, 1).
+func Random(rows, cols int, rng *rand.Rand) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equalish reports whether m and o agree entrywise within tol.
+func (m *Dense) Equalish(o *Dense, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest entrywise absolute difference.
+func (m *Dense) MaxAbsDiff(o *Dense) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range m.Data {
+		if v := math.Abs(m.Data[i] - o.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Mul returns a·b by the classical triple loop (ikj order for locality).
+// It panics on shape mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Errorf("matrix: Mul shapes %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k := 0; k < a.Cols; k++ {
+			aik := a.Data[i*a.Cols+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+	return c
+}
+
+// MulBlocked returns a·b with square blocking of size bs — the cache
+// layout corresponding to the classical Hong–Kung-optimal schedule
+// (block size ≈ √(M/3)).
+func MulBlocked(a, b *Dense, bs int) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Errorf("matrix: MulBlocked shapes %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if bs < 1 {
+		panic(fmt.Errorf("matrix: block size %d", bs))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for ii := 0; ii < a.Rows; ii += bs {
+		iMax := min(ii+bs, a.Rows)
+		for kk := 0; kk < a.Cols; kk += bs {
+			kMax := min(kk+bs, a.Cols)
+			for jj := 0; jj < b.Cols; jj += bs {
+				jMax := min(jj+bs, b.Cols)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						aik := a.Data[i*a.Cols+k]
+						if aik == 0 {
+							continue
+						}
+						ci := c.Data[i*c.Cols+jj : i*c.Cols+jMax]
+						bk := b.Data[k*b.Cols+jj : k*b.Cols+jMax]
+						for j := range ci {
+							ci[j] += aik * bk[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Fast multiplies two square matrices with the recursive Strassen-like
+// algorithm alg, recursing while the dimension exceeds cutoff and is
+// divisible by n₀, and falling back to classical multiplication below.
+// Matrices whose dimension is not a power-of-n₀ multiple of the cutoff
+// are padded internally. This is the arithmetic realization of the
+// schedule whose I/O the paper bounds.
+func Fast(alg *bilinear.Algorithm, a, b *Dense, cutoff int) *Dense {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		panic(fmt.Errorf("matrix: Fast wants equal square matrices, got %d×%d · %d×%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	n := a.Rows
+	padded := padSize(n, alg.N0, cutoff)
+	if padded != n {
+		ap, bp := pad(a, padded), pad(b, padded)
+		cp := fastRec(alg, ap, bp, cutoff)
+		return crop(cp, n)
+	}
+	return fastRec(alg, a, b, cutoff)
+}
+
+// padSize returns the smallest s ≥ n of the form cutoff·n₀^e (or n when
+// it already has that form with the quotient a power of n₀).
+func padSize(n, n0, cutoff int) int {
+	s := cutoff
+	for s < n {
+		s *= n0
+	}
+	return s
+}
+
+func pad(m *Dense, n int) *Dense {
+	if m.Rows == n {
+		return m
+	}
+	p := NewDense(n, n)
+	for i := 0; i < m.Rows; i++ {
+		copy(p.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	}
+	return p
+}
+
+func crop(m *Dense, n int) *Dense {
+	c := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(c.Data[i*n:(i+1)*n], m.Data[i*m.Rows:i*m.Rows+n])
+	}
+	return c
+}
+
+func fastRec(alg *bilinear.Algorithm, a, b *Dense, cutoff int) *Dense {
+	n := a.Rows
+	if n <= cutoff || n%alg.N0 != 0 {
+		return Mul(a, b)
+	}
+	n0 := alg.N0
+	sub := n / n0
+	// Extract blocks.
+	blockA := make([]*Dense, n0*n0)
+	blockB := make([]*Dense, n0*n0)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n0; j++ {
+			blockA[i*n0+j] = block(a, i, j, sub)
+			blockB[i*n0+j] = block(b, i, j, sub)
+		}
+	}
+	// Products of encoded combinations.
+	products := make([]*Dense, alg.B())
+	for t := 0; t < alg.B(); t++ {
+		la := combine(alg.U[t], blockA, sub)
+		lb := combine(alg.V[t], blockB, sub)
+		products[t] = fastRec(alg, la, lb, cutoff)
+	}
+	// Decode.
+	c := NewDense(n, n)
+	for o := 0; o < n0*n0; o++ {
+		co := combineProducts(alg.W[o], products, sub)
+		placeBlock(c, co, o/n0, o%n0, sub)
+	}
+	return c
+}
+
+func block(m *Dense, bi, bj, sub int) *Dense {
+	out := NewDense(sub, sub)
+	for i := 0; i < sub; i++ {
+		src := (bi*sub+i)*m.Cols + bj*sub
+		copy(out.Data[i*sub:(i+1)*sub], m.Data[src:src+sub])
+	}
+	return out
+}
+
+func placeBlock(m *Dense, blk *Dense, bi, bj, sub int) {
+	for i := 0; i < sub; i++ {
+		dst := (bi*sub+i)*m.Cols + bj*sub
+		copy(m.Data[dst:dst+sub], blk.Data[i*sub:(i+1)*sub])
+	}
+}
+
+// combine returns Σ coeff[e]·blocks[e] for the nonzero coefficients.
+func combine(coeffs []rat.Rat, blocks []*Dense, sub int) *Dense {
+	out := NewDense(sub, sub)
+	for e, c := range coeffs {
+		if c.IsZero() {
+			continue
+		}
+		f := c.Float64()
+		blk := blocks[e]
+		for i := range out.Data {
+			out.Data[i] += f * blk.Data[i]
+		}
+	}
+	return out
+}
+
+func combineProducts(coeffs []rat.Rat, products []*Dense, sub int) *Dense {
+	out := NewDense(sub, sub)
+	for t, c := range coeffs {
+		if c.IsZero() {
+			continue
+		}
+		f := c.Float64()
+		blk := products[t]
+		for i := range out.Data {
+			out.Data[i] += f * blk.Data[i]
+		}
+	}
+	return out
+}
+
+// FastParallel is Fast with the top-level subproducts computed
+// concurrently by a bounded worker pool (workers ≤ 0 uses GOMAXPROCS).
+// Deeper recursion levels stay sequential per branch — the b-way
+// top-level fan-out already saturates typical core counts.
+func FastParallel(alg *bilinear.Algorithm, a, b *Dense, cutoff, workers int) *Dense {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		panic(fmt.Errorf("matrix: FastParallel wants equal square matrices"))
+	}
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := a.Rows
+	padded := padSize(n, alg.N0, cutoff)
+	ap, bp := pad(a, padded), pad(b, padded)
+	if padded <= cutoff || padded%alg.N0 != 0 {
+		return crop(Mul(ap, bp), n)
+	}
+	n0 := alg.N0
+	sub := padded / n0
+	blockA := make([]*Dense, n0*n0)
+	blockB := make([]*Dense, n0*n0)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n0; j++ {
+			blockA[i*n0+j] = block(ap, i, j, sub)
+			blockB[i*n0+j] = block(bp, i, j, sub)
+		}
+	}
+	products := make([]*Dense, alg.B())
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < alg.B(); t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			la := combine(alg.U[t], blockA, sub)
+			lb := combine(alg.V[t], blockB, sub)
+			products[t] = fastRec(alg, la, lb, cutoff)
+		}(t)
+	}
+	wg.Wait()
+	c := NewDense(padded, padded)
+	for o := 0; o < n0*n0; o++ {
+		co := combineProducts(alg.W[o], products, sub)
+		placeBlock(c, co, o/n0, o%n0, sub)
+	}
+	if padded != n {
+		return crop(c, n)
+	}
+	return c
+}

@@ -1,0 +1,155 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathrouting/internal/bilinear"
+)
+
+func TestMulSmall(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Dense{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("c = %v", c.Data)
+		}
+	}
+}
+
+func TestMulRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Random(3, 5, rng)
+	b := Random(5, 7, rng)
+	c := Mul(a, b)
+	if c.Rows != 3 || c.Cols != 7 {
+		t.Fatalf("shape %d×%d", c.Rows, c.Cols)
+	}
+	// Entry check against direct definition.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 7; j++ {
+			var want float64
+			for k := 0; k < 5; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if d := c.At(i, j) - want; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("c[%d,%d] off by %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestBlockedMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 7, 16, 33, 64} {
+		a, b := Random(n, n, rng), Random(n, n, rng)
+		want := Mul(a, b)
+		for _, bs := range []int{1, 4, 8, 100} {
+			got := MulBlocked(a, b, bs)
+			if !got.Equalish(want, 1e-9) {
+				t.Errorf("n=%d bs=%d: mismatch %v", n, bs, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestFastMatchesMulForAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	algs := bilinear.All()
+	for _, alg := range algs {
+		n := alg.N0 * alg.N0 * 2 // two recursion levels plus a ragged cutoff
+		a, b := Random(n, n, rng), Random(n, n, rng)
+		want := Mul(a, b)
+		got := Fast(alg, a, b, 2)
+		if !got.Equalish(want, 1e-6) {
+			t.Errorf("%s: max diff %v", alg.Name, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestFastWithPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// 13 is not a power of 2 multiple of the cutoff: forces padding.
+	a, b := Random(13, 13, rng), Random(13, 13, rng)
+	want := Mul(a, b)
+	got := Fast(bilinear.Strassen(), a, b, 2)
+	if !got.Equalish(want, 1e-9) {
+		t.Fatalf("padding path wrong by %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestFastDeepRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a, b := Random(64, 64, rng), Random(64, 64, rng)
+	want := Mul(a, b)
+	got := Fast(bilinear.Strassen(), a, b, 1)
+	if !got.Equalish(want, 1e-7) {
+		t.Fatalf("deep recursion wrong by %v", got.MaxAbsDiff(want))
+	}
+	got = Fast(bilinear.Winograd(), a, b, 4)
+	if !got.Equalish(want, 1e-7) {
+		t.Fatalf("winograd wrong by %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestFastQuickAgainstClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(24)
+		a, b := Random(n, n, rng), Random(n, n, rng)
+		return Fast(bilinear.Strassen(), a, b, 3).Equalish(Mul(a, b), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewDense(2, 2)
+	c := a.Clone()
+	c.Set(0, 0, 5)
+	if a.At(0, 0) != 0 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestEqualishShapeMismatch(t *testing.T) {
+	if NewDense(2, 2).Equalish(NewDense(2, 3), 1) {
+		t.Fatal("shape mismatch equal")
+	}
+}
+
+func TestFastParallelMatchesFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, n := range []int{16, 33, 64} {
+		a, b := Random(n, n, rng), Random(n, n, rng)
+		want := Mul(a, b)
+		for _, workers := range []int{1, 4, 0} {
+			got := FastParallel(bilinear.Strassen(), a, b, 8, workers)
+			if !got.Equalish(want, 1e-8) {
+				t.Fatalf("n=%d workers=%d: max diff %v", n, workers, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestFastParallelSmallFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	a, b := Random(4, 4, rng), Random(4, 4, rng)
+	if !FastParallel(bilinear.Strassen(), a, b, 8, 2).Equalish(Mul(a, b), 1e-10) {
+		t.Fatal("small-case fallback wrong")
+	}
+}

@@ -1,0 +1,201 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+)
+
+// CannonResult reports a simulated Cannon run.
+type CannonResult struct {
+	// P is the processor count (a perfect square).
+	P int
+	// Bandwidth is the critical-path word count.
+	Bandwidth int64
+	// Steps is the superstep count.
+	Steps int64
+	// MemoryPerProc is the peak words held by one processor.
+	MemoryPerProc int64
+}
+
+// Cannon simulates Cannon's classical 2D algorithm for n×n matrices on
+// P = p×p processors at the message level: the initial skew, then p
+// shift-multiply rounds. Block positions are tracked explicitly and the
+// multiplication invariant — processor (i,j) multiplies A(i, i+j+k) by
+// B(i+j+k, j) in round k, covering each k-index exactly once — is
+// checked, so the word counts are those of a verified execution.
+// n must be divisible by p.
+func Cannon(n, p int) (CannonResult, error) {
+	if p < 1 {
+		return CannonResult{}, fmt.Errorf("parallel: Cannon p = %d", p)
+	}
+	if n%p != 0 {
+		return CannonResult{}, fmt.Errorf("parallel: Cannon n = %d not divisible by p = %d", n, p)
+	}
+	nb := n / p
+	blk := int64(nb) * int64(nb)
+	m := NewMachine(p * p)
+	proc := func(i, j int) int { return ((i%p)+p)%p*p + ((j%p)+p)%p }
+
+	// aAt[i][j] = column index of the A block held by processor (i,j);
+	// bAt[i][j] = row index of the B block held there.
+	aAt := make([][]int, p)
+	bAt := make([][]int, p)
+	for i := 0; i < p; i++ {
+		aAt[i] = make([]int, p)
+		bAt[i] = make([]int, p)
+		for j := 0; j < p; j++ {
+			aAt[i][j] = j
+			bAt[i][j] = i
+		}
+	}
+
+	// Skew: A(i,j) moves left by i, B(i,j) moves up by j.
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != 0 {
+				m.Send(proc(i, j), proc(i, j-i), blk)
+			}
+			if j != 0 {
+				m.Send(proc(i, j), proc(i-j, j), blk)
+			}
+		}
+	}
+	m.EndStep()
+	newA := make([][]int, p)
+	newB := make([][]int, p)
+	for i := range newA {
+		newA[i] = make([]int, p)
+		newB[i] = make([]int, p)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			newA[i][((j-i)%p+p)%p] = aAt[i][j]
+			newB[((i-j)%p+p)%p][j] = bAt[i][j]
+		}
+	}
+	aAt, bAt = newA, newB
+
+	covered := make([][]map[int]bool, p)
+	for i := range covered {
+		covered[i] = make([]map[int]bool, p)
+		for j := range covered[i] {
+			covered[i][j] = map[int]bool{}
+		}
+	}
+	for round := 0; round < p; round++ {
+		// Local multiply: C(i,j) += A(i, aAt) · B(bAt, j); the inner
+		// indices must agree.
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if aAt[i][j] != bAt[i][j] {
+					return CannonResult{}, fmt.Errorf(
+						"parallel: Cannon invariant broken at (%d,%d) round %d: A col %d vs B row %d",
+						i, j, round, aAt[i][j], bAt[i][j])
+				}
+				if covered[i][j][aAt[i][j]] {
+					return CannonResult{}, fmt.Errorf(
+						"parallel: Cannon repeats k = %d at (%d,%d)", aAt[i][j], i, j)
+				}
+				covered[i][j][aAt[i][j]] = true
+			}
+		}
+		if round == p-1 {
+			break
+		}
+		// Shift A left by one, B up by one.
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				m.Send(proc(i, j), proc(i, j-1), blk)
+				m.Send(proc(i, j), proc(i-1, j), blk)
+			}
+		}
+		m.EndStep()
+		nA := make([][]int, p)
+		nB := make([][]int, p)
+		for i := range nA {
+			nA[i] = make([]int, p)
+			nB[i] = make([]int, p)
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				nA[i][((j-1)%p+p)%p] = aAt[i][j]
+				nB[((i-1)%p+p)%p][j] = bAt[i][j]
+			}
+		}
+		aAt, bAt = nA, nB
+	}
+	// Completion: every processor covered all p inner indices.
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if len(covered[i][j]) != p {
+				return CannonResult{}, fmt.Errorf(
+					"parallel: Cannon incomplete at (%d,%d): %d/%d inner blocks", i, j, len(covered[i][j]), p)
+			}
+		}
+	}
+	return CannonResult{
+		P:             p * p,
+		Bandwidth:     m.Bandwidth(),
+		Steps:         m.Steps(),
+		MemoryPerProc: 3 * blk,
+	}, nil
+}
+
+// TwoPointFiveDResult reports a 2.5D accounting run.
+type TwoPointFiveDResult struct {
+	P             int
+	C             int
+	Bandwidth     int64
+	Steps         int64
+	MemoryPerProc int64
+}
+
+// TwoPointFiveD accounts the bandwidth of the 2.5D algorithm (Solomonik
+// & Demmel) on a p×p×c grid, P = p²c: the input matrices are replicated
+// across the c layers, each layer performs p/c of the Cannon-style
+// shifts, and the C contributions are reduced across layers. Superstep
+// accounting (all processors symmetric). Requires c ≤ p and c | p.
+func TwoPointFiveD(n, p, c int) (TwoPointFiveDResult, error) {
+	if c < 1 || p < 1 || c > p || p%c != 0 {
+		return TwoPointFiveDResult{}, fmt.Errorf("parallel: 2.5D invalid grid p=%d c=%d", p, c)
+	}
+	if n%p != 0 {
+		return TwoPointFiveDResult{}, fmt.Errorf("parallel: 2.5D n=%d not divisible by p=%d", n, p)
+	}
+	nb := int64(n / p)
+	blk := nb * nb
+	m := NewMachine(p * p * c)
+
+	// Replication: layer 0 owns the inputs; each other layer receives a
+	// copy of its A and B panels (2 blocks per processor).
+	if c > 1 {
+		m.Uniform(2 * blk)
+		m.EndStep()
+	}
+	// Each layer performs p/c shift rounds (after its own skew).
+	rounds := p / c
+	m.Uniform(2 * blk) // skew
+	m.EndStep()
+	for k := 0; k < rounds-1; k++ {
+		m.Uniform(2 * blk)
+		m.EndStep()
+	}
+	// Reduce C over layers (log c stages of one block each).
+	for s := 1; s < c; s *= 2 {
+		m.Uniform(blk)
+		m.EndStep()
+	}
+	return TwoPointFiveDResult{
+		P:             p * p * c,
+		C:             c,
+		Bandwidth:     m.Bandwidth(),
+		Steps:         m.Steps(),
+		MemoryPerProc: 3 * int64(c) * blk,
+	}, nil
+}
+
+// ClassicalLowerBound2D returns the classical bandwidth lower bound
+// n²/√P (up to constants) for comparison plots.
+func ClassicalLowerBound2D(n float64, p int) float64 {
+	return n * n / math.Sqrt(float64(p))
+}

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"fmt"
+
+	"pathrouting/internal/bilinear"
+)
+
+// CAPSResult reports a CAPS simulation.
+type CAPSResult struct {
+	// P is the processor count (a power of b).
+	P int
+	// Bandwidth is the critical-path word count.
+	Bandwidth int64
+	// Steps is the superstep count.
+	Steps int64
+	// BFSLevels and DFSLevels record the step pattern chosen.
+	BFSLevels, DFSLevels int
+	// PeakMemory is the maximum words resident per processor.
+	PeakMemory int64
+}
+
+// CAPS simulates the communication of a CAPS-style parallel
+// Strassen-like algorithm (Ballard–Demmel–Holtz–Lipshitz–Schwartz [3])
+// for n×n matrices on P processors with local memories of M words.
+//
+// The recursion, at problem size m on p processors:
+//
+//   - BFS step (p > 1, enough memory): form the b sub-operand pairs and
+//     redistribute them so each of b groups of p/b processors owns one
+//     subproblem. Each processor exchanges Θ(b·(m/n₀)²/p) words — we
+//     count the exact 3·b·(m/n₀)²/p (2 operand combinations out, 1
+//     product contribution back). Memory per processor grows by the
+//     factor b/a relative to the parent's share.
+//   - DFS step (memory-tight): all p processors cooperate on the b
+//     subproblems sequentially. With elementwise-cyclic block layout
+//     the linear combinations are local, so a DFS step moves no words;
+//     it costs a factor b in the number of lower-level steps instead.
+//   - p = 1: the subproblem is solved locally (sequential I/O is
+//     measured by the pebble simulator, not counted as bandwidth).
+//
+// The step chooser takes BFS whenever the resulting per-processor
+// footprint fits in M, which is CAPS's optimal interleaving. It returns
+// an error when even all-DFS cannot fit (M below 3n²/P).
+func CAPS(alg *bilinear.Algorithm, n, p int, m int64) (CAPSResult, error) {
+	if p < 1 {
+		return CAPSResult{}, fmt.Errorf("parallel: CAPS p = %d", p)
+	}
+	b := alg.B()
+	// p must be a power of b for the pure BFS tree; DFS levels relax
+	// this, but we keep the canonical form.
+	pp := p
+	levelsP := 0
+	for pp > 1 {
+		if pp%b != 0 {
+			return CAPSResult{}, fmt.Errorf("parallel: CAPS P = %d is not a power of b = %d", p, b)
+		}
+		pp /= b
+		levelsP++
+	}
+	if int64(3*n)*int64(n)/int64(p) > m {
+		return CAPSResult{}, fmt.Errorf("parallel: CAPS M = %d cannot hold 3n²/P = %d", m, int64(3*n)*int64(n)/int64(p))
+	}
+
+	mach := NewMachine(p)
+	res := CAPSResult{P: p}
+	n0 := int64(alg.N0)
+
+	// rec simulates the subtree at problem size mdim on procs procs,
+	// where footprint is the per-processor share of the current
+	// subproblem (3·mdim²/procs words) times the BFS blowup so far.
+	// reps counts how many times this subtree executes (DFS steps
+	// sequentialize b-fold).
+	var rec func(mdim int64, procs int, reps int64, footprint int64) error
+	rec = func(mdim int64, procs int, reps int64, footprint int64) error {
+		if footprint > res.PeakMemory {
+			res.PeakMemory = footprint
+		}
+		if procs == 1 {
+			return nil
+		}
+		if mdim%n0 != 0 {
+			return fmt.Errorf("parallel: CAPS subproblem %d not divisible by n₀", mdim)
+		}
+		sub := mdim / n0
+		// BFS footprint: the b subproblems live simultaneously,
+		// 3·b·sub² words over procs processors.
+		bfsFoot := 3 * int64(b) * sub * sub / int64(procs)
+		if bfsFoot <= m {
+			// BFS: redistribute combos and collect products.
+			words := 3 * int64(b) * sub * sub / int64(procs)
+			for i := int64(0); i < reps; i++ {
+				mach.Uniform(words)
+				mach.EndStep()
+			}
+			res.BFSLevels++
+			return rec(sub, procs/b, reps, bfsFoot)
+		}
+		// DFS: no communication, b-fold sequentialization.
+		res.DFSLevels++
+		return rec(sub, procs, reps*int64(b), 3*sub*sub/int64(procs))
+	}
+	if err := rec(int64(n), p, 1, 3*int64(n)*int64(n)/int64(p)); err != nil {
+		return res, err
+	}
+	res.Bandwidth = mach.Bandwidth()
+	res.Steps = mach.Steps()
+	return res, nil
+}

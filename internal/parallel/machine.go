@@ -1,0 +1,96 @@
+// Package parallel simulates the paper's distributed machine model — P
+// processors, each with local memory of size M words — and measures the
+// bandwidth cost (words communicated along the critical path) of
+// classical and Strassen-like distributed matrix multiplication:
+//
+//   - Cannon's 2D algorithm (classical, message-level simulation with
+//     block-position invariants checked),
+//   - the 2.5D algorithm with c-fold replication (classical, superstep
+//     accounting),
+//   - CAPS-style parallel Strassen-like multiplication with BFS/DFS
+//     steps chosen by the local-memory constraint (superstep
+//     accounting), the algorithm of Ballard et al. [3] whose cost
+//     matches the lower bounds of the paper's Theorem 1.
+//
+// Bandwidth is counted per superstep as the maximum over processors of
+// words sent plus words received (the BSP h-relation), matching the
+// paper's convention that words moved simultaneously by different
+// processors count once.
+package parallel
+
+import "fmt"
+
+// Machine accumulates the bandwidth cost of a bulk-synchronous
+// execution on P processors.
+type Machine struct {
+	// P is the number of processors.
+	P int
+
+	cur       []int64 // words sent+received by each proc this superstep
+	bandwidth int64
+	steps     int64
+	totalSent int64
+}
+
+// NewMachine returns a machine with P processors.
+func NewMachine(p int) *Machine {
+	if p < 1 {
+		panic(fmt.Errorf("parallel: P = %d", p))
+	}
+	return &Machine{P: p, cur: make([]int64, p)}
+}
+
+// Send records a point-to-point message of the given word count within
+// the current superstep. Self-sends are free (local copies).
+func (m *Machine) Send(from, to int, words int64) {
+	if from < 0 || from >= m.P || to < 0 || to >= m.P {
+		panic(fmt.Errorf("parallel: Send %d->%d out of range P=%d", from, to, m.P))
+	}
+	if words < 0 {
+		panic(fmt.Errorf("parallel: negative message %d", words))
+	}
+	if from == to {
+		return
+	}
+	m.cur[from] += words
+	m.cur[to] += words
+	m.totalSent += words
+}
+
+// Uniform records that every processor sends and receives the given
+// number of words this superstep (the common all-symmetric case; avoids
+// P² explicit messages).
+func (m *Machine) Uniform(words int64) {
+	if words < 0 {
+		panic(fmt.Errorf("parallel: negative uniform step %d", words))
+	}
+	for i := range m.cur {
+		m.cur[i] += 2 * words
+	}
+	m.totalSent += int64(m.P) * words
+}
+
+// EndStep closes the current superstep, adding its h-relation (max over
+// processors of words sent+received) to the critical-path bandwidth.
+func (m *Machine) EndStep() {
+	var h int64
+	for i, w := range m.cur {
+		if w > h {
+			h = w
+		}
+		m.cur[i] = 0
+	}
+	m.bandwidth += h
+	m.steps++
+}
+
+// Bandwidth returns the accumulated critical-path word count.
+func (m *Machine) Bandwidth() int64 { return m.bandwidth }
+
+// Steps returns the number of closed supersteps (the latency cost in
+// messages along the critical path, up to constants).
+func (m *Machine) Steps() int64 { return m.steps }
+
+// TotalWords returns the total words sent by all processors (volume,
+// not critical path).
+func (m *Machine) TotalWords() int64 { return m.totalSent }

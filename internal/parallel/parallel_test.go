@@ -1,0 +1,266 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/bounds"
+)
+
+func TestMachineHRelation(t *testing.T) {
+	m := NewMachine(3)
+	m.Send(0, 1, 10)
+	m.Send(1, 2, 5)
+	m.EndStep()
+	// proc1 sent 5 and received 10: h = 15.
+	if m.Bandwidth() != 15 {
+		t.Errorf("bandwidth %d, want 15", m.Bandwidth())
+	}
+	if m.Steps() != 1 || m.TotalWords() != 15 {
+		t.Errorf("steps=%d total=%d", m.Steps(), m.TotalWords())
+	}
+	// Self-sends are free.
+	m.Send(2, 2, 100)
+	m.EndStep()
+	if m.Bandwidth() != 15 {
+		t.Errorf("self-send counted: %d", m.Bandwidth())
+	}
+}
+
+func TestMachineUniform(t *testing.T) {
+	m := NewMachine(4)
+	m.Uniform(7)
+	m.EndStep()
+	if m.Bandwidth() != 14 {
+		t.Errorf("uniform h %d, want 14", m.Bandwidth())
+	}
+}
+
+func TestMachinePanicsOnBadInput(t *testing.T) {
+	m := NewMachine(2)
+	for _, f := range []func(){
+		func() { m.Send(0, 5, 1) },
+		func() { m.Send(0, 1, -1) },
+		func() { m.Uniform(-2) },
+		func() { NewMachine(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCannonInvariantAndBandwidth(t *testing.T) {
+	res, err := Cannon(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew + (p-1) shift rounds, each an h-relation of 4 blocks.
+	blk := int64(8 * 8)
+	want := 4 * blk * 8
+	if res.Bandwidth != want {
+		t.Errorf("bandwidth %d, want %d", res.Bandwidth, want)
+	}
+	if res.Steps != 8 {
+		t.Errorf("steps %d", res.Steps)
+	}
+	if res.MemoryPerProc != 3*blk {
+		t.Errorf("memory %d", res.MemoryPerProc)
+	}
+}
+
+func TestCannonScalesAsInverseSqrtP(t *testing.T) {
+	n := 256
+	r1, err := Cannon(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Cannon(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadrupling P (doubling p) should halve bandwidth (up to the skew
+	// constant).
+	ratio := float64(r1.Bandwidth) / float64(r2.Bandwidth)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("P-scaling ratio %v, want ≈2", ratio)
+	}
+	// Within a small constant of the classical lower bound.
+	lb := ClassicalLowerBound2D(float64(n), r2.P)
+	if float64(r2.Bandwidth) < lb {
+		t.Errorf("bandwidth %d below classical lower bound %v", r2.Bandwidth, lb)
+	}
+	if float64(r2.Bandwidth) > 8*lb {
+		t.Errorf("bandwidth %d more than 8× classical lower bound %v", r2.Bandwidth, lb)
+	}
+}
+
+func TestCannonRejectsBadShapes(t *testing.T) {
+	if _, err := Cannon(10, 3); err == nil {
+		t.Error("n not divisible by p accepted")
+	}
+	if _, err := Cannon(8, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestTwoPointFiveDBeatsCannonAtScale(t *testing.T) {
+	// The classical replication tradeoff: at P = 1024, c = 4 moves fewer
+	// words along the critical path than pure 2D.
+	n := 1024
+	cannon, err := Cannon(n, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfd, err := TwoPointFiveD(n, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cannon.P != tfd.P {
+		t.Fatalf("processor counts differ: %d vs %d", cannon.P, tfd.P)
+	}
+	if tfd.Bandwidth >= cannon.Bandwidth {
+		t.Errorf("2.5D %d not below Cannon %d", tfd.Bandwidth, cannon.Bandwidth)
+	}
+	// And it pays with memory.
+	if tfd.MemoryPerProc <= cannon.MemoryPerProc {
+		t.Errorf("2.5D memory %d not above Cannon %d", tfd.MemoryPerProc, cannon.MemoryPerProc)
+	}
+}
+
+func TestTwoPointFiveDWithC1IsCannonLike(t *testing.T) {
+	n := 256
+	tfd, err := TwoPointFiveD(n, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cannon, err := Cannon(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tfd.Bandwidth) / float64(cannon.Bandwidth)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("c=1 2.5D %d vs Cannon %d", tfd.Bandwidth, cannon.Bandwidth)
+	}
+}
+
+func TestTwoPointFiveDRejectsBadGrids(t *testing.T) {
+	for _, c := range [][3]int{{64, 4, 8}, {64, 4, 3}, {63, 4, 2}, {64, 0, 1}} {
+		if _, err := TwoPointFiveD(c[0], c[1], c[2]); err == nil {
+			t.Errorf("grid %v accepted", c)
+		}
+	}
+}
+
+func TestCAPSAllBFSWithAmpleMemory(t *testing.T) {
+	alg := bilinear.Strassen()
+	res, err := CAPS(alg, 1024, 49, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BFSLevels != 2 || res.DFSLevels != 0 {
+		t.Errorf("levels BFS=%d DFS=%d, want 2/0", res.BFSLevels, res.DFSLevels)
+	}
+	if res.Bandwidth <= 0 {
+		t.Error("no bandwidth recorded")
+	}
+}
+
+func TestCAPSMemoryPressureForcesDFS(t *testing.T) {
+	alg := bilinear.Strassen()
+	n := 1024
+	ample, err := CAPS(alg, n, 49, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory just above the floor 3n²/P forces DFS steps first.
+	tight, err := CAPS(alg, n, 49, 3*int64(n)*int64(n)/49+1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.DFSLevels == 0 {
+		t.Error("tight memory did not force DFS")
+	}
+	if tight.Bandwidth < ample.Bandwidth {
+		t.Errorf("tight-memory bandwidth %d below ample %d", tight.Bandwidth, ample.Bandwidth)
+	}
+	if tight.PeakMemory > 3*int64(n)*int64(n)/49+1024 {
+		t.Errorf("peak memory %d exceeds M", tight.PeakMemory)
+	}
+}
+
+func TestCAPSRejectsBadParams(t *testing.T) {
+	alg := bilinear.Strassen()
+	if _, err := CAPS(alg, 64, 10, 1<<30); err == nil {
+		t.Error("P not power of 7 accepted")
+	}
+	if _, err := CAPS(alg, 1<<12, 7, 10); err == nil {
+		t.Error("M below 3n²/P accepted")
+	}
+}
+
+func TestCAPSTracksMemoryIndependentBound(t *testing.T) {
+	// With unlimited memory, CAPS bandwidth should sit within a constant
+	// of the paper's memory-independent lower bound n²/P^(2/ω₀).
+	alg := bilinear.Strassen()
+	w := alg.Omega0()
+	n := 4096
+	for _, p := range []int{7, 49, 343} {
+		res, err := CAPS(alg, n, p, 1<<44)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := bounds.MemoryIndependent(w, float64(n), p)
+		ratio := float64(res.Bandwidth) / lb
+		if ratio < 0.5 || ratio > 64 {
+			t.Errorf("P=%d: CAPS %d vs memory-independent bound %v (ratio %v)",
+				p, res.Bandwidth, lb, ratio)
+		}
+	}
+}
+
+func TestCAPSBeatsClassicalAtScale(t *testing.T) {
+	// The who-wins comparison of the paper's introduction, on achieved
+	// costs: at several hundred processors with ample memory, the
+	// CAPS-style fast algorithm should move no more than a small
+	// constant times the words of the best classical 2D execution.
+	alg := bilinear.Strassen()
+	n := 4608 // divisible by 18 (Cannon grid) and by 2³ (3 BFS levels)
+	caps343, err := CAPS(alg, n, 343, 1<<44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cannon324, err := Cannon(n, 18) // 324 procs — closest square
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CAPS moves fewer words despite slightly more processors for
+	// Cannon being unavailable; compare per the paper's qualitative
+	// claim with a 2× tolerance.
+	if float64(caps343.Bandwidth) > 2*float64(cannon324.Bandwidth) {
+		t.Errorf("CAPS %d vs Cannon %d: fast algorithm not competitive",
+			caps343.Bandwidth, cannon324.Bandwidth)
+	}
+}
+
+func TestCAPSBandwidthDecreasesWithP(t *testing.T) {
+	alg := bilinear.Strassen()
+	n := 4096
+	var prev int64 = math.MaxInt64
+	for _, p := range []int{7, 49, 343} {
+		res, err := CAPS(alg, n, p, 1<<44)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bandwidth >= prev {
+			t.Errorf("bandwidth %d did not decrease at P=%d (prev %d)", res.Bandwidth, p, prev)
+		}
+		prev = res.Bandwidth
+	}
+}

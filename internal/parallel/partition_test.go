@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/bounds"
+	"pathrouting/internal/cdag"
+)
+
+func mustCDAG(t *testing.T, alg *bilinear.Algorithm, r int) *cdag.Graph {
+	t.Helper()
+	g, err := cdag.New(alg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionP1NoCommunication(t *testing.T) {
+	g := mustCDAG(t, bilinear.Strassen(), 3)
+	res, err := RankBalancedPartition(g, 1, Contiguous, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossEdges != 0 || res.CriticalPath != 0 {
+		t.Errorf("P=1 communicates: %+v", res)
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	g := mustCDAG(t, bilinear.Strassen(), 4)
+	rng := rand.New(rand.NewSource(4))
+	for _, style := range []PartitionStyle{Contiguous, Shuffled} {
+		res, err := RankBalancedPartition(g, 7, style, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-rank balance within the rounding slack.
+		if res.MaxLoadImbalance > 1.5 {
+			t.Errorf("%v: imbalance %v", style, res.MaxLoadImbalance)
+		}
+		if res.CrossEdges <= 0 || res.CriticalPath <= 0 {
+			t.Errorf("%v: no communication recorded: %+v", style, res)
+		}
+		if res.CriticalPath > 2*res.CrossEdges {
+			t.Errorf("%v: critical path %d exceeds total volume bound %d", style, res.CriticalPath, 2*res.CrossEdges)
+		}
+	}
+}
+
+func TestPartitionRespectsMemoryIndependentBound(t *testing.T) {
+	// Theorem 1's last clause: any per-rank load-balanced execution
+	// moves Ω(n²/P^(2/ω₀)) words; concrete partitions are executions,
+	// so their critical-path words must sit above the bound (up to the
+	// theorem's constant, which the paper leaves implicit; we check
+	// with constant 1/8).
+	alg := bilinear.Strassen()
+	g := mustCDAG(t, alg, 5)
+	rng := rand.New(rand.NewSource(6))
+	n := math.Pow(2, 5)
+	for _, p := range []int{4, 16, 49} {
+		for _, style := range []PartitionStyle{Contiguous, Shuffled} {
+			res, err := RankBalancedPartition(g, p, style, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb := bounds.MemoryIndependent(alg.Omega0(), n, p)
+			if float64(res.CriticalPath) < lb/8 {
+				t.Errorf("P=%d %v: critical path %d below bound %v/8", p, style, res.CriticalPath, lb)
+			}
+		}
+	}
+}
+
+func TestShuffledCostsMoreThanContiguous(t *testing.T) {
+	// Locality matters: the random assignment cuts far more edges than
+	// the contiguous one.
+	g := mustCDAG(t, bilinear.Strassen(), 5)
+	rng := rand.New(rand.NewSource(7))
+	cont, err := RankBalancedPartition(g, 8, Contiguous, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuf, err := RankBalancedPartition(g, 8, Shuffled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuf.CrossEdges <= cont.CrossEdges {
+		t.Errorf("shuffled %d not above contiguous %d", shuf.CrossEdges, cont.CrossEdges)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := mustCDAG(t, bilinear.Strassen(), 2)
+	if _, err := RankBalancedPartition(g, 0, Contiguous, nil); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := RankBalancedPartition(g, 2, Shuffled, nil); err == nil {
+		t.Error("shuffled without rng accepted")
+	}
+}

@@ -1,0 +1,305 @@
+// Package pebble simulates the paper's two-level memory model — the
+// red-blue pebble game of Hong & Kung played on a CDAG — and measures
+// the I/O of concrete schedules.
+//
+// Model (Section 1 of the paper): slow memory is unbounded; fast memory
+// (cache) holds at most M values. Initially all inputs reside in slow
+// memory and the cache is empty. Reading a value into cache or writing
+// one back costs one I/O. A vertex may be computed only when all its
+// parents are in cache, and the result is placed in cache. No vertex is
+// computed twice. The run ends when every output has been written to
+// slow memory. The I/O-complexity of the CDAG is the minimum total I/O
+// over schedules and replacement decisions.
+//
+// The simulator takes the schedule (a topological order of the non-input
+// vertices) as input and makes replacement decisions with a pluggable
+// policy; the MIN (Belady) policy is optimal for a fixed schedule, so
+// DFS-schedule + MIN gives the fair upper-bound measurement to compare
+// against the paper's lower bound.
+package pebble
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pathrouting/internal/cdag"
+)
+
+// Policy selects which cache-resident value to evict.
+type Policy int
+
+// Supported replacement policies.
+const (
+	// MIN is Belady's offline-optimal policy: evict the value whose
+	// next use in the schedule is farthest in the future (preferring
+	// values with no further use at all).
+	MIN Policy = iota
+	// LRU evicts the least recently used value.
+	LRU
+	// FIFO evicts the value that entered cache earliest.
+	FIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case MIN:
+		return "MIN"
+	case LRU:
+		return "LRU"
+	default:
+		return "FIFO"
+	}
+}
+
+// Result reports the I/O measured for one simulation.
+type Result struct {
+	// Reads counts loads from slow memory into cache (including the
+	// initial loads of inputs).
+	Reads int64
+	// Writes counts stores from cache to slow memory (including the
+	// final stores of outputs).
+	Writes int64
+	// Computed is the number of vertices computed (sanity: equals the
+	// schedule length).
+	Computed int64
+	// Evictions counts values dropped from cache (with or without a
+	// write-back).
+	Evictions int64
+}
+
+// IO returns the total I/O cost Reads + Writes.
+func (r Result) IO() int64 { return r.Reads + r.Writes }
+
+// Simulator runs schedules on a CDAG under the two-level model.
+type Simulator struct {
+	G *cdag.Graph
+	M int
+	P Policy
+}
+
+// state tracks one cache-resident value.
+type state struct {
+	inCache   bool
+	inSlow    bool // a valid copy exists in slow memory
+	heapIdx   int  // index in the eviction heap, -1 if absent
+	nextUse   int32
+	lastTouch int64 // LRU timestamp or FIFO entry sequence
+}
+
+// evictHeap orders cache-resident, currently-unpinned vertices by the
+// policy's eviction priority (max-heap on priority).
+type evictHeap struct {
+	ids  []cdag.V
+	st   []state
+	less func(a, b cdag.V, st []state) bool
+}
+
+func (h *evictHeap) Len() int { return len(h.ids) }
+func (h *evictHeap) Less(i, j int) bool {
+	return h.less(h.ids[i], h.ids[j], h.st)
+}
+func (h *evictHeap) Swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.st[h.ids[i]].heapIdx = i
+	h.st[h.ids[j]].heapIdx = j
+}
+func (h *evictHeap) Push(x any) {
+	v := x.(cdag.V)
+	h.st[v].heapIdx = len(h.ids)
+	h.ids = append(h.ids, v)
+}
+func (h *evictHeap) Pop() any {
+	v := h.ids[len(h.ids)-1]
+	h.ids = h.ids[:len(h.ids)-1]
+	h.st[v].heapIdx = -1
+	return v
+}
+
+const never = int32(1 << 30)
+
+// Run simulates the schedule and returns the measured I/O. The schedule
+// must be a topological order of every non-input vertex of the graph
+// (use schedule-package generators); Run validates as it goes and
+// returns an error on the first violation.
+func (s *Simulator) Run(schedule []cdag.V) (Result, error) {
+	g := s.G
+	if s.M < 2 {
+		return Result{}, fmt.Errorf("pebble: cache size M = %d < 2 cannot compute binary operations", s.M)
+	}
+	n := g.NumVertices()
+
+	// Next-use lists: for every vertex, the schedule positions where it
+	// is used as a parent, in increasing order; consumed front to back.
+	useHead := make([]int32, n) // index into useNext chains
+	for i := range useHead {
+		useHead[i] = -1
+	}
+	type useEntry struct {
+		pos  int32
+		next int32
+	}
+	var uses []useEntry
+	var parentBuf []cdag.Edge
+	// Build in reverse so chains come out in increasing position order.
+	for pos := len(schedule) - 1; pos >= 0; pos-- {
+		v := schedule[pos]
+		parentBuf = g.AppendParents(v, parentBuf[:0])
+		for _, e := range parentBuf {
+			uses = append(uses, useEntry{pos: int32(pos), next: useHead[e.To]})
+			useHead[e.To] = int32(len(uses) - 1)
+		}
+	}
+
+	st := make([]state, n)
+	for i := range st {
+		st[i].heapIdx = -1
+		st[i].nextUse = never
+		if useHead[i] >= 0 {
+			st[i].nextUse = uses[useHead[i]].pos
+		}
+	}
+	// Inputs start valid in slow memory.
+	for v := 0; v < n; v++ {
+		if g.IsInput(cdag.V(v)) {
+			st[v].inSlow = true
+		}
+	}
+
+	var less func(a, b cdag.V, stt []state) bool
+	switch s.P {
+	case MIN:
+		less = func(a, b cdag.V, stt []state) bool { return stt[a].nextUse > stt[b].nextUse }
+	case LRU:
+		less = func(a, b cdag.V, stt []state) bool { return stt[a].lastTouch < stt[b].lastTouch }
+	default: // FIFO
+		less = func(a, b cdag.V, stt []state) bool { return stt[a].lastTouch < stt[b].lastTouch }
+	}
+	h := &evictHeap{st: st, less: less}
+
+	var res Result
+	var clock int64
+	cacheCount := 0
+	pinned := make([]cdag.V, 0, 16)
+
+	unpin := func(v cdag.V) {
+		if st[v].inCache && st[v].heapIdx < 0 {
+			heap.Push(h, v)
+		}
+	}
+	pin := func(v cdag.V) {
+		if st[v].heapIdx >= 0 {
+			heap.Remove(h, st[v].heapIdx)
+		}
+	}
+	evictOne := func() error {
+		if h.Len() == 0 {
+			return fmt.Errorf("pebble: cache overcommitted: M = %d too small for a single computation", s.M)
+		}
+		victim := heap.Pop(h).(cdag.V)
+		st[victim].inCache = false
+		cacheCount--
+		res.Evictions++
+		if !st[victim].inSlow && st[victim].nextUse != never {
+			// Value still needed later but no slow-memory copy: write it
+			// back (one I/O) so it can be reloaded.
+			res.Writes++
+			st[victim].inSlow = true
+		}
+		return nil
+	}
+	ensureRoom := func() error {
+		for cacheCount >= s.M {
+			if err := evictOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	load := func(v cdag.V) error {
+		if st[v].inCache {
+			return nil
+		}
+		if !st[v].inSlow {
+			return fmt.Errorf("pebble: schedule uses %s before it is computed", g.Label(v))
+		}
+		if err := ensureRoom(); err != nil {
+			return err
+		}
+		res.Reads++
+		st[v].inCache = true
+		cacheCount++
+		return nil
+	}
+
+	computed := make([]bool, n)
+	for pos, v := range schedule {
+		if g.IsInput(v) {
+			return res, fmt.Errorf("pebble: schedule contains input %s", g.Label(v))
+		}
+		if computed[v] {
+			return res, fmt.Errorf("pebble: schedule recomputes %s", g.Label(v))
+		}
+		parentBuf = g.AppendParents(v, parentBuf[:0])
+		// Pin parents so they cannot evict each other while assembling
+		// this computation.
+		pinned = pinned[:0]
+		for _, e := range parentBuf {
+			if !computed[e.To] && !g.IsInput(e.To) {
+				return res, fmt.Errorf("pebble: schedule computes %s before parent %s", g.Label(v), g.Label(e.To))
+			}
+			if err := load(e.To); err != nil {
+				return res, err
+			}
+			pin(e.To)
+			clock++
+			st[e.To].lastTouch = clock
+			pinned = append(pinned, e.To)
+		}
+		// Advance parents' next-use pointers past this position.
+		for _, e := range parentBuf {
+			for useHead[e.To] >= 0 && uses[useHead[e.To]].pos <= int32(pos) {
+				useHead[e.To] = uses[useHead[e.To]].next
+			}
+			if useHead[e.To] >= 0 {
+				st[e.To].nextUse = uses[useHead[e.To]].pos
+			} else {
+				st[e.To].nextUse = never
+			}
+		}
+		// Make room for the result.
+		if err := ensureRoom(); err != nil {
+			return res, err
+		}
+		// Unpin parents (re-entering the evict heap with updated keys).
+		for _, p := range pinned {
+			unpin(p)
+		}
+		computed[v] = true
+		st[v].inCache = true
+		clock++
+		st[v].lastTouch = clock
+		cacheCount++
+		res.Computed++
+		if g.IsOutput(v) {
+			// Outputs must end up in slow memory; write eagerly (the
+			// optimal offline choice writes each output exactly once).
+			res.Writes++
+			st[v].inSlow = true
+		}
+		if st[v].nextUse == never && !g.IsOutput(v) {
+			// Useless vertex (cannot happen in G_r, but keep the cache
+			// tidy if it does): drop immediately.
+			st[v].inCache = false
+			cacheCount--
+			continue
+		}
+		heap.Push(h, v)
+	}
+	// Completion check: every output computed (and therefore written).
+	for v := 0; v < n; v++ {
+		if g.IsOutput(cdag.V(v)) && !computed[v] {
+			return res, fmt.Errorf("pebble: schedule never computes output %s", g.Label(cdag.V(v)))
+		}
+	}
+	return res, nil
+}

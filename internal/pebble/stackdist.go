@@ -1,0 +1,154 @@
+package pebble
+
+// Mattson stack-distance analysis: the classic one-pass computation
+// (Mattson et al. 1970) of LRU reuse distances for a reference trace,
+// yielding the number of LRU misses for *every* cache size
+// simultaneously. The trace of a schedule is the sequence of value
+// accesses it performs: each computation reads its parents and creates
+// its result. The resulting miss curve is the locality fingerprint of
+// the schedule — Theorem 1 lower-bounds it for every M at once, and the
+// DFS schedule's curve hugs the bound while the rank-by-rank curve
+// plateaus at the layer size.
+
+import (
+	"fmt"
+	"sort"
+
+	"pathrouting/internal/cdag"
+)
+
+// MissCurve holds the result of a stack-distance pass.
+type MissCurve struct {
+	// Accesses is the total number of value accesses in the trace.
+	Accesses int64
+	// Compulsory is the number of first accesses (cold misses),
+	// incurred at every cache size.
+	Compulsory int64
+	// distHist[d] counts reuse accesses with stack distance exactly d
+	// (1-based: d values were touched since the previous access).
+	distHist []int64
+}
+
+// MissesAt returns the number of LRU misses for a fully-associative
+// cache of m values: compulsory misses plus reuses with stack distance
+// exceeding m.
+func (mc *MissCurve) MissesAt(m int) int64 {
+	if m < 0 {
+		m = 0
+	}
+	misses := mc.Compulsory
+	for d := m + 1; d < len(mc.distHist); d++ {
+		misses += mc.distHist[d]
+	}
+	return misses
+}
+
+// MaxDistance returns the largest observed reuse distance (the cache
+// size beyond which only compulsory misses remain).
+func (mc *MissCurve) MaxDistance() int {
+	for d := len(mc.distHist) - 1; d >= 1; d-- {
+		if mc.distHist[d] > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Distances returns the sorted distinct reuse distances observed —
+// the interesting cache sizes where the curve steps.
+func (mc *MissCurve) Distances() []int {
+	var out []int
+	for d := 1; d < len(mc.distHist); d++ {
+		if mc.distHist[d] > 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AnalyzeStackDistances runs the Mattson pass over the access trace of
+// the schedule on g. Accesses per scheduled vertex: one read per
+// parent, then the creation of the vertex itself (a compulsory miss).
+func AnalyzeStackDistances(g *cdag.Graph, sched []cdag.V) (*MissCurve, error) {
+	n := g.NumVertices()
+	// lastTime[v] = BIT position of v's most recent access, or 0.
+	lastTime := make([]int64, n)
+	// Total accesses bound: schedule length × (max fan-in + 1).
+	var total int64
+	var buf []cdag.Edge
+	for _, v := range sched {
+		buf = g.AppendParents(v, buf[:0])
+		total += int64(len(buf)) + 1
+	}
+	bit := newBIT(int(total) + 2)
+	mc := &MissCurve{distHist: make([]int64, 2)}
+
+	clock := int64(0)
+	access := func(v cdag.V) error {
+		clock++
+		if lastTime[v] == 0 {
+			mc.Compulsory++
+		} else {
+			// Distinct values touched since last access of v = number
+			// of marked positions after lastTime[v].
+			d := int(bit.sumFrom(int(lastTime[v]) + 1))
+			d++ // v itself re-enters at the top
+			for d >= len(mc.distHist) {
+				mc.distHist = append(mc.distHist, 0)
+			}
+			mc.distHist[d]++
+			bit.add(int(lastTime[v]), -1)
+		}
+		bit.add(int(clock), 1)
+		lastTime[v] = clock
+		mc.Accesses++
+		return nil
+	}
+
+	computed := make([]bool, n)
+	for _, v := range sched {
+		if computed[v] {
+			return nil, fmt.Errorf("pebble: stack distance trace recomputes %s", g.Label(v))
+		}
+		buf = g.AppendParents(v, buf[:0])
+		for _, e := range buf {
+			if err := access(e.To); err != nil {
+				return nil, err
+			}
+		}
+		if err := access(v); err != nil {
+			return nil, err
+		}
+		computed[v] = true
+	}
+	return mc, nil
+}
+
+// bitTree is a Fenwick tree over trace positions.
+type bitTree struct {
+	n    int
+	tree []int64
+}
+
+func newBIT(n int) *bitTree { return &bitTree{n: n, tree: make([]int64, n+1)} }
+
+func (b *bitTree) add(i int, delta int64) {
+	for ; i <= b.n; i += i & (-i) {
+		b.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions 1..i.
+func (b *bitTree) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += b.tree[i]
+	}
+	return s
+}
+
+// sumFrom returns the sum of positions i..n.
+func (b *bitTree) sumFrom(i int) int64 {
+	return b.prefix(b.n) - b.prefix(i-1)
+}

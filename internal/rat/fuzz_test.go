@@ -1,0 +1,47 @@
+package rat
+
+import "testing"
+
+// FuzzParseRoundTrip checks that any parseable string round-trips
+// through String (after normalization) and never panics.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{"0", "1/2", "-3/7", "22/7", "9223372036854775807", "1/0", "x", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("String() of parsed %q unparseable: %v", s, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip %q -> %v -> %v", s, r, back)
+		}
+	})
+}
+
+// FuzzArithmeticConsistency checks field identities on fuzzer-chosen
+// small rationals: (x+y)-y == x and (x*y)/y == x when y != 0.
+func FuzzArithmeticConsistency(f *testing.F) {
+	f.Add(int16(1), uint8(2), int16(-3), uint8(4))
+	f.Add(int16(0), uint8(1), int16(7), uint8(9))
+	f.Fuzz(func(t *testing.T, xn int16, xd uint8, yn int16, yd uint8) {
+		x := New(int64(xn), int64(xd%100)+1)
+		y := New(int64(yn), int64(yd%100)+1)
+		if got := x.Add(y).Sub(y); !got.Equal(x) {
+			t.Fatalf("(%v+%v)-%v = %v", x, y, y, got)
+		}
+		if !y.IsZero() {
+			if got := x.Mul(y).Div(y); !got.Equal(x) {
+				t.Fatalf("(%v*%v)/%v = %v", x, y, y, got)
+			}
+		}
+		// Modular homomorphism.
+		if got, want := x.Add(y).Mod(), ModAdd(x.Mod(), y.Mod()); got != want {
+			t.Fatalf("mod additivity: %d vs %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package rat
+
+import "fmt"
+
+// ModP is the prime modulus used by modular evaluation of CDAGs and
+// bilinear identities. Working mod a large prime keeps evaluation O(1)
+// per operation regardless of recursion depth (exact rational values in a
+// depth-r CDAG can grow exponentially in r) while still detecting any
+// wiring or coefficient error with overwhelming probability: a nonzero
+// polynomial identity over Q vanishes mod p at random points with
+// probability at most deg/p (DeMillo–Lipton–Schwartz–Zippel).
+const ModP uint64 = 2147483647 // 2^31 - 1, Mersenne prime
+
+// Mod is a residue modulo ModP.
+type Mod uint64
+
+// ModAdd returns a + b mod p.
+func ModAdd(a, b Mod) Mod {
+	s := uint64(a) + uint64(b)
+	if s >= ModP {
+		s -= ModP
+	}
+	return Mod(s)
+}
+
+// ModSub returns a - b mod p.
+func ModSub(a, b Mod) Mod {
+	if a >= b {
+		return a - b
+	}
+	return a + Mod(ModP) - b
+}
+
+// ModMul returns a * b mod p.
+func ModMul(a, b Mod) Mod {
+	return Mod(uint64(a) * uint64(b) % ModP) // fits: (p-1)^2 < 2^62
+}
+
+// ModPow returns a^e mod p.
+func ModPow(a Mod, e uint64) Mod {
+	r := Mod(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			r = ModMul(r, base)
+		}
+		base = ModMul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// ModInv returns the multiplicative inverse of a mod p.
+// It panics if a == 0.
+func ModInv(a Mod) Mod {
+	if a == 0 {
+		panic(fmt.Errorf("rat: modular inverse of zero"))
+	}
+	return ModPow(a, ModP-2) // Fermat: p prime
+}
+
+// ModOf converts an int64 to its residue mod p.
+func ModOf(x int64) Mod {
+	m := x % int64(ModP)
+	if m < 0 {
+		m += int64(ModP)
+	}
+	return Mod(m)
+}
+
+// Mod returns the residue of the rational r modulo p, i.e.
+// num * den^(-1) mod p. It panics if den ≡ 0 mod p, which cannot occur
+// for catalog-scale denominators (all far below p).
+func (r Rat) Mod() Mod {
+	n := ModOf(r.Num())
+	d := ModOf(r.Den())
+	if d == 0 {
+		panic(fmt.Errorf("rat: denominator %d divisible by modulus", r.Den()))
+	}
+	if d == 1 {
+		return n
+	}
+	return ModMul(n, ModInv(d))
+}

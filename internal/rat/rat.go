@@ -1,0 +1,260 @@
+// Package rat implements exact rational arithmetic on checked int64
+// numerators and denominators.
+//
+// All coefficient arithmetic in this repository — Brent-equation
+// verification of bilinear algorithms, symbolic CDAG evaluation, decoder
+// solving by Gaussian elimination — is done in this package so that
+// correctness checks are exact rather than floating-point approximate.
+// The coefficients arising from the algorithm catalog are tiny integers
+// (almost always -1, 0, 1), so int64 is ample; every operation still
+// checks for overflow and reports it via ErrOverflow so a silent wrap can
+// never corrupt a verification result.
+package rat
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrOverflow is the panic value used when an arithmetic operation would
+// exceed the int64 range. The catalog coefficients make this unreachable
+// in practice; the check exists so that it cannot happen silently.
+var ErrOverflow = errors.New("rat: int64 overflow")
+
+// Rat is an exact rational number num/den in lowest terms with den > 0.
+// The zero value is the rational number 0.
+type Rat struct {
+	num int64
+	den int64 // invariant: den >= 1 and gcd(|num|, den) == 1; zero value den==0 means 0/1
+}
+
+// New returns the rational num/den in lowest terms. It panics with
+// ErrOverflow if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic(fmt.Errorf("rat: zero denominator %d/%d", num, den))
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rat{num, den}
+}
+
+// Int returns the rational n/1.
+func Int(n int64) Rat { return Rat{n, 1} }
+
+// Common small constants.
+var (
+	Zero   = Rat{0, 1}
+	One    = Rat{1, 1}
+	NegOne = Rat{-1, 1}
+)
+
+// Num returns the numerator of r (in lowest terms, sign carried here).
+func (r Rat) Num() int64 {
+	if r.den == 0 {
+		return 0
+	}
+	return r.num
+}
+
+// Den returns the positive denominator of r in lowest terms.
+func (r Rat) Den() int64 {
+	if r.den == 0 {
+		return 1
+	}
+	return r.den
+}
+
+// norm returns r with the zero value normalized to 0/1.
+func (r Rat) norm() Rat {
+	if r.den == 0 {
+		return Rat{0, 1}
+	}
+	return r
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.Num() == 0 }
+
+// IsOne reports whether r == 1.
+func (r Rat) IsOne() bool { return r.Num() == 1 && r.Den() == 1 }
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.Den() == 1 }
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	switch {
+	case r.Num() > 0:
+		return 1
+	case r.Num() < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Num() == s.Num() && r.Den() == s.Den() }
+
+// Cmp compares r and s, returning -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int {
+	// r - s sign without overflow risk for catalog-scale values: use checked arithmetic.
+	d := r.Sub(s)
+	return d.Sign()
+}
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	r = r.norm()
+	return Rat{checkNeg(r.num), r.den}
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	r, s = r.norm(), s.norm()
+	// r.num/r.den + s.num/s.den = (r.num*(s.den/g) + s.num*(r.den/g)) / lcm
+	g := gcd64(r.den, s.den)
+	sd := s.den / g
+	rd := r.den / g
+	num := checkAdd(checkMul(r.num, sd), checkMul(s.num, rd))
+	den := checkMul(r.den, sd)
+	return New(num, den)
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	r, s = r.norm(), s.norm()
+	// Cross-reduce before multiplying to keep magnitudes small.
+	g1 := gcd64(abs64(r.num), s.den)
+	g2 := gcd64(abs64(s.num), r.den)
+	num := checkMul(r.num/g1, s.num/g2)
+	den := checkMul(r.den/g2, s.den/g1)
+	return New(num, den)
+}
+
+// Inv returns 1/r. It panics if r == 0.
+func (r Rat) Inv() Rat {
+	if r.IsZero() {
+		panic(errors.New("rat: division by zero"))
+	}
+	r = r.norm()
+	return New(r.den, r.num)
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat { return r.Mul(s.Inv()) }
+
+// Float64 returns the nearest float64 to r.
+func (r Rat) Float64() float64 { return float64(r.Num()) / float64(r.Den()) }
+
+// String returns "n" for integers and "n/d" otherwise.
+func (r Rat) String() string {
+	if r.Den() == 1 {
+		return strconv.FormatInt(r.Num(), 10)
+	}
+	return strconv.FormatInt(r.Num(), 10) + "/" + strconv.FormatInt(r.Den(), 10)
+}
+
+// Parse parses "n" or "n/d" into a Rat.
+func Parse(s string) (Rat, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			num, err := strconv.ParseInt(s[:i], 10, 64)
+			if err != nil {
+				return Rat{}, fmt.Errorf("rat: parse %q: %w", s, err)
+			}
+			den, err := strconv.ParseInt(s[i+1:], 10, 64)
+			if err != nil {
+				return Rat{}, fmt.Errorf("rat: parse %q: %w", s, err)
+			}
+			if den == 0 {
+				return Rat{}, fmt.Errorf("rat: parse %q: zero denominator", s)
+			}
+			return New(num, den), nil
+		}
+	}
+	num, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("rat: parse %q: %w", s, err)
+	}
+	return Int(num), nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func checkAdd(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(ErrOverflow)
+	}
+	return s
+}
+
+func checkNeg(a int64) int64 {
+	if a == -a && a != 0 { // only math.MinInt64
+		panic(ErrOverflow)
+	}
+	return -a
+}
+
+func checkMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic(ErrOverflow)
+	}
+	return p
+}
+
+// Sum returns the sum of xs, or 0 for an empty slice.
+func Sum(xs ...Rat) Rat {
+	s := Zero
+	for _, x := range xs {
+		s = s.Add(x)
+	}
+	return s
+}
+
+// Dot returns the inner product of equal-length coefficient vectors.
+// It panics if the lengths differ.
+func Dot(a, b []Rat) Rat {
+	if len(a) != len(b) {
+		panic(fmt.Errorf("rat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := Zero
+	for i := range a {
+		if a[i].IsZero() || b[i].IsZero() {
+			continue
+		}
+		s = s.Add(a[i].Mul(b[i]))
+	}
+	return s
+}

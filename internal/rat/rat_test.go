@@ -1,0 +1,292 @@
+package rat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den         int64
+		wantNum, wantDen int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{-9, 3, -3, 1},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantNum || r.Den() != c.wantDen {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantNum, c.wantDen)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Errorf("zero value not zero: %v", r)
+	}
+	if got := r.Add(Int(3)); !got.Equal(Int(3)) {
+		t.Errorf("0 + 3 = %v", got)
+	}
+	if got := r.Mul(Int(3)); !got.IsZero() {
+		t.Errorf("0 * 3 = %v", got)
+	}
+	if r.String() != "0" {
+		t.Errorf("zero String = %q", r.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %v", got)
+	}
+	if got := half.Sub(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %v", got)
+	}
+	if got := half.Mul(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2 * 1/3 = %v", got)
+	}
+	if got := half.Div(third); !got.Equal(New(3, 2)) {
+		t.Errorf("1/2 / 1/3 = %v", got)
+	}
+	if got := half.Neg(); !got.Equal(New(-1, 2)) {
+		t.Errorf("-(1/2) = %v", got)
+	}
+	if got := New(-3, 7).Inv(); !got.Equal(New(-7, 3)) {
+		t.Errorf("inv(-3/7) = %v", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestSignCmp(t *testing.T) {
+	if New(-1, 2).Sign() != -1 || New(1, 2).Sign() != 1 || Zero.Sign() != 0 {
+		t.Error("Sign wrong")
+	}
+	if New(1, 3).Cmp(New(1, 2)) != -1 {
+		t.Error("1/3 < 1/2 expected")
+	}
+	if New(2, 3).Cmp(New(2, 3)) != 0 {
+		t.Error("2/3 == 2/3 expected")
+	}
+	if New(3, 4).Cmp(New(1, 2)) != 1 {
+		t.Error("3/4 > 1/2 expected")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "5", "-5", "1/2", "-3/7", "22/7"} {
+		r, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if r.String() != s {
+			t.Errorf("Parse(%q).String() = %q", s, r.String())
+		}
+	}
+	if _, err := Parse("1/0"); err == nil {
+		t.Error("Parse(1/0) should fail")
+	}
+	if _, err := Parse("x"); err == nil {
+		t.Error("Parse(x) should fail")
+	}
+	if _, err := Parse("1/x"); err == nil {
+		t.Error("Parse(1/x) should fail")
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := New(1, 2).Float64(); got != 0.5 {
+		t.Errorf("Float64(1/2) = %v", got)
+	}
+	if got := New(-22, 7).Float64(); math.Abs(got+22.0/7.0) > 1e-15 {
+		t.Errorf("Float64(-22/7) = %v", got)
+	}
+}
+
+// small builds a Rat from bounded quick-check inputs so intermediate
+// values stay far from overflow.
+func small(n int16, d uint8) Rat {
+	den := int64(d%100) + 1
+	return New(int64(n), den)
+}
+
+func TestQuickFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commAdd := func(an int16, ad uint8, bn int16, bd uint8) bool {
+		a, b := small(an, ad), small(bn, bd)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(commAdd, cfg); err != nil {
+		t.Errorf("addition not commutative: %v", err)
+	}
+
+	assocAdd := func(an int16, ad uint8, bn int16, bd uint8, cn int16, cd uint8) bool {
+		a, b, c := small(an, ad), small(bn, bd), small(cn, cd)
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(assocAdd, cfg); err != nil {
+		t.Errorf("addition not associative: %v", err)
+	}
+
+	distrib := func(an int16, ad uint8, bn int16, bd uint8, cn int16, cd uint8) bool {
+		a, b, c := small(an, ad), small(bn, bd), small(cn, cd)
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Errorf("distributivity fails: %v", err)
+	}
+
+	subInverse := func(an int16, ad uint8, bn int16, bd uint8) bool {
+		a, b := small(an, ad), small(bn, bd)
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(subInverse, cfg); err != nil {
+		t.Errorf("a+b-b != a: %v", err)
+	}
+
+	mulInverse := func(an int16, ad uint8) bool {
+		a := small(an, ad)
+		if a.IsZero() {
+			return true
+		}
+		return a.Mul(a.Inv()).IsOne()
+	}
+	if err := quick.Check(mulInverse, cfg); err != nil {
+		t.Errorf("a * 1/a != 1: %v", err)
+	}
+
+	normalized := func(an int16, ad uint8, bn int16, bd uint8) bool {
+		r := small(an, ad).Mul(small(bn, bd))
+		if r.Den() < 1 {
+			return false
+		}
+		return gcd64(abs64(r.Num()), r.Den()) == 1
+	}
+	if err := quick.Check(normalized, cfg); err != nil {
+		t.Errorf("result not in lowest terms: %v", err)
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	big := Int(int64(1) << 62)
+	defer func() {
+		if recover() != ErrOverflow {
+			t.Fatal("expected ErrOverflow panic")
+		}
+	}()
+	big.Mul(big)
+}
+
+func TestSumDot(t *testing.T) {
+	if got := Sum(Int(1), Int(2), Int(3)); !got.Equal(Int(6)) {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Sum(); !got.IsZero() {
+		t.Errorf("empty Sum = %v", got)
+	}
+	a := []Rat{Int(1), Int(2), Int(3)}
+	b := []Rat{Int(4), Int(-5), Int(6)}
+	if got := Dot(a, b); !got.Equal(Int(12)) {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]Rat{One}, []Rat{One, One})
+}
+
+func TestModArithmetic(t *testing.T) {
+	a, b := Mod(ModP-1), Mod(5)
+	if got := ModAdd(a, b); got != 4 {
+		t.Errorf("(p-1)+5 mod p = %d, want 4", got)
+	}
+	if got := ModSub(b, a); got != 6 {
+		t.Errorf("5-(p-1) mod p = %d, want 6", got)
+	}
+	if got := ModMul(Mod(1<<20), Mod(1<<20)); got != Mod((uint64(1)<<40)%ModP) {
+		t.Errorf("ModMul = %d", got)
+	}
+	if got := ModPow(2, 31); got != Mod((uint64(1)<<31)%ModP) {
+		t.Errorf("ModPow(2,31) = %d", got)
+	}
+}
+
+func TestModInv(t *testing.T) {
+	for _, a := range []Mod{1, 2, 3, 7, 1000003, Mod(ModP - 1)} {
+		inv := ModInv(a)
+		if got := ModMul(a, inv); got != 1 {
+			t.Errorf("a * a^-1 = %d for a=%d", got, a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ModInv(0) did not panic")
+		}
+	}()
+	ModInv(0)
+}
+
+func TestRatMod(t *testing.T) {
+	// 1/2 mod p must satisfy 2 * x == 1 mod p.
+	x := New(1, 2).Mod()
+	if got := ModMul(2, x); got != 1 {
+		t.Errorf("2 * (1/2 mod p) = %d", got)
+	}
+	if got := Int(-1).Mod(); got != Mod(ModP-1) {
+		t.Errorf("-1 mod p = %d", got)
+	}
+	// Homomorphism: (a+b) mod p == a mod p + b mod p.
+	a, b := New(3, 7), New(-5, 9)
+	if got, want := a.Add(b).Mod(), ModAdd(a.Mod(), b.Mod()); got != want {
+		t.Errorf("mod not additive: %d vs %d", got, want)
+	}
+	if got, want := a.Mul(b).Mod(), ModMul(a.Mod(), b.Mod()); got != want {
+		t.Errorf("mod not multiplicative: %d vs %d", got, want)
+	}
+}
+
+func TestModOf(t *testing.T) {
+	if ModOf(-1) != Mod(ModP-1) {
+		t.Error("ModOf(-1) wrong")
+	}
+	if ModOf(int64(ModP)) != 0 {
+		t.Error("ModOf(p) wrong")
+	}
+	if ModOf(42) != 42 {
+		t.Error("ModOf(42) wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package routing
+
+import (
+	"testing"
+
+	"pathrouting/internal/bilinear"
+)
+
+func TestGreedyMatchingLoadExceedsHall(t *testing.T) {
+	// The greedy assignment ignores the n₀ capacity; on Strassen it
+	// overloads popular products beyond n₀ (M1 and the identity-like
+	// products attract many dependencies).
+	alg := bilinear.Strassen()
+	greedy, err := GreedyBaseMatching(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hall, err := NewBaseMatching(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hall.MaxProductLoad() > alg.N0 {
+		t.Errorf("Hall matching load %d > n₀", hall.MaxProductLoad())
+	}
+	if greedy.MaxProductLoad() <= alg.N0 {
+		t.Skipf("greedy happened to respect capacity (load %d); ablation uninformative here", greedy.MaxProductLoad())
+	}
+	if greedy.MaxProductLoad() <= hall.MaxProductLoad() {
+		t.Errorf("greedy load %d not above Hall load %d", greedy.MaxProductLoad(), hall.MaxProductLoad())
+	}
+}
+
+func TestCompareMatchingsStrassen(t *testing.T) {
+	cmp, err := CompareMatchings(bilinear.Strassen(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(cmp.HallMaxHits) > cmp.Bound {
+		t.Errorf("Hall routing exceeds bound: %+v", cmp)
+	}
+	if cmp.HallLoad > 2 {
+		t.Errorf("Hall load %d > n₀", cmp.HallLoad)
+	}
+	// The greedy variant's hits must be at least the Hall variant's
+	// (it concentrates chains); whether it breaks the 6aᵏ bound is
+	// algorithm-dependent and reported, not asserted.
+	if cmp.GreedyFailed == "" && cmp.GreedyHits < cmp.HallMaxHits {
+		t.Errorf("greedy hits %d below Hall hits %d", cmp.GreedyHits, cmp.HallMaxHits)
+	}
+	t.Logf("ablation: %+v", cmp)
+}
+
+func TestCompareMatchingsAcrossCatalog(t *testing.T) {
+	for _, alg := range []*bilinear.Algorithm{bilinear.Winograd(), bilinear.Classical(2)} {
+		cmp, err := CompareMatchings(alg, 2)
+		if err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+			continue
+		}
+		if int64(cmp.HallMaxHits) > cmp.Bound {
+			t.Errorf("%s: Hall routing exceeds bound", alg.Name)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package routing
+
+// Concurrent verification: the routing checks are embarrassingly
+// parallel over the input index (each worker enumerates the paths of a
+// contiguous slice of inputs into worker-local hit arrays, merged at
+// the end), so the heavy Theorem 2 verification scales with cores.
+// Results are bit-identical to the sequential VerifyFullRouting.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+)
+
+// VerifyFullRoutingParallel is VerifyFullRouting distributed over
+// workers goroutines (0 → GOMAXPROCS). It verifies the same properties
+// and returns the same statistics.
+func (r *Router) VerifyFullRoutingParallel(workers int) (Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := r.G
+	nV := g.NumVertices()
+	aK := r.powA[r.k]
+	wantLen := 3*(2*r.k+2) - 2
+
+	type workerOut struct {
+		hits     []int32
+		metaHits map[cdag.V]int64
+		numPaths int64
+		total    int64
+		err      error
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			out.hits = make([]int32, nV)
+			out.metaHits = make(map[cdag.V]int64)
+			lo := aK * int64(w) / int64(workers)
+			hi := aK * int64(w+1) / int64(workers)
+			var buf []cdag.V
+			roots := make(map[cdag.V]struct{}, 16)
+			for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
+				for in := lo; in < hi; in++ {
+					for outIdx := int64(0); outIdx < aK; outIdx++ {
+						buf = r.PairPath(side, in, outIdx, buf[:0])
+						out.numPaths++
+						out.total += int64(len(buf))
+						if len(buf) != wantLen {
+							out.err = fmt.Errorf("routing: pair path length %d, want %d", len(buf), wantLen)
+							return
+						}
+						wantIn := g.InputA(in)
+						if side == bilinear.SideB {
+							wantIn = g.InputB(in)
+						}
+						if buf[0] != wantIn || buf[len(buf)-1] != g.Output(outIdx) {
+							out.err = fmt.Errorf("routing: pair path endpoints wrong (side %v in %d out %d)", side, in, outIdx)
+							return
+						}
+						clear(roots)
+						for _, v := range buf {
+							out.hits[v]++
+							roots[g.MetaRoot(v)] = struct{}{}
+						}
+						for root := range roots {
+							out.metaHits[root]++
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := Stats{Bound: 6 * aK}
+	hits := make([]int64, nV)
+	metaHits := make(map[cdag.V]int64)
+	for w := range outs {
+		if outs[w].err != nil {
+			return st, outs[w].err
+		}
+		st.NumPaths += outs[w].numPaths
+		st.TotalHits += outs[w].total
+		for v, h := range outs[w].hits {
+			hits[v] += int64(h)
+		}
+		for root, h := range outs[w].metaHits {
+			metaHits[root] += h
+		}
+	}
+	for _, h := range hits {
+		if int(h) > st.MaxVertexHits {
+			st.MaxVertexHits = int(h)
+		}
+	}
+	for _, h := range metaHits {
+		if int(h) > st.MaxMetaHits {
+			st.MaxMetaHits = int(h)
+		}
+	}
+	if int64(st.MaxVertexHits) > st.Bound {
+		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: vertex hit %d > 6aᵏ = %d",
+			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
+	}
+	if int64(st.MaxMetaHits) > st.Bound {
+		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: meta-vertex hit %d > 6aᵏ = %d",
+			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
+	}
+	return st, nil
+}

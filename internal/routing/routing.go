@@ -1,0 +1,393 @@
+// Package routing implements the path-routing constructions at the core
+// of Scott–Holtz–Schwartz, "Matrix Multiplication I/O-Complexity by Path
+// Routing" (SPAA 2015), and verifies their claimed hit-count bounds
+// exactly on explicit CDAGs:
+//
+//   - Lemma 3: a 2n₀ᵏ-routing of all guaranteed dependencies of G_k
+//     consisting only of chains, built from a base-level many-to-one Hall
+//     matching (Theorem 3) between guaranteed dependencies and products,
+//     lifted through the recursion exactly as in Claim 2.
+//   - Lemma 4: the composition a_ij → c_ij′ → b_jj′ → c_i′j′ (and its
+//     B-side mirror) routing *every* input–output pair through three
+//     guaranteed-dependence chains, each chain reused exactly 3n₀ᵏ times.
+//   - Theorem 2 (Routing Theorem): the resulting 6aᵏ-routing between all
+//     inputs and all outputs of G_k, with per-vertex and per-meta-vertex
+//     hit counts verified against the bound.
+//   - Claim 1 (Section 5): the simpler (11·7ᵏ)-style routing inside the
+//     decoding graph D_k alone, with "zag" detours through connected base
+//     decoding components, applicable whenever D₁ is connected.
+//
+// Routings are never stored; paths are enumerated arithmetically from
+// the tensor structure, so verification over hundreds of thousands of
+// paths runs in milliseconds with O(|V|) memory.
+package routing
+
+import (
+	"fmt"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/hall"
+)
+
+// BaseMatching assigns every guaranteed base-level dependency to a
+// product of the base graph through which its chain will be routed,
+// using each product at most n₀ times per side (the many-to-one Hall
+// matching of Theorem 3, computed by max-flow).
+type BaseMatching struct {
+	Alg *bilinear.Algorithm
+	// matchA[e*a+o] is the product routing the A-side dependency
+	// (a_e → c_o), or -1 when the dependency is not guaranteed
+	// (row(e) ≠ row(o)). matchB mirrors it with columns.
+	matchA, matchB []int
+}
+
+// NewBaseMatching computes the two side matchings. It returns an error
+// carrying a Hall-condition violation witness if no matching exists;
+// by Lemma 5 that cannot happen for a correct algorithm in which every
+// nontrivial combination is used in one multiplication (a violation
+// would yield a matrix-vector algorithm with fewer than n₀²
+// multiplications, contradicting Winograd's bound).
+func NewBaseMatching(alg *bilinear.Algorithm) (*BaseMatching, error) {
+	bm := &BaseMatching{Alg: alg}
+	var err error
+	bm.matchA, err = sideMatching(alg, bilinear.SideA)
+	if err != nil {
+		return nil, err
+	}
+	bm.matchB, err = sideMatching(alg, bilinear.SideB)
+	if err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
+
+// GuaranteedBaseDeps lists the guaranteed base dependencies of one side
+// as (entry, output) pairs: row(e) == row(o) for side A (a_ij
+// influences every c_ij′), col(e) == col(o) for side B.
+func GuaranteedBaseDeps(alg *bilinear.Algorithm, side bilinear.Side) [][2]int {
+	n0, a := alg.N0, alg.A()
+	var deps [][2]int
+	for e := 0; e < a; e++ {
+		for o := 0; o < a; o++ {
+			if side == bilinear.SideA && e/n0 == o/n0 {
+				deps = append(deps, [2]int{e, o})
+			}
+			if side == bilinear.SideB && e%n0 == o%n0 {
+				deps = append(deps, [2]int{e, o})
+			}
+		}
+	}
+	return deps
+}
+
+// DepProducts returns the products adjacent to the base dependency
+// (e → o) on the given side: products t with a nonzero encoding
+// coefficient at e and a nonzero decoding coefficient at o. These are
+// the products a chain for the dependency can pass through (the
+// adjacency of the paper's matching graph H, with middle-rank vertices
+// identified with their unique product).
+func DepProducts(alg *bilinear.Algorithm, side bilinear.Side, e, o int) []int {
+	enc := alg.U
+	if side == bilinear.SideB {
+		enc = alg.V
+	}
+	var ts []int
+	for t := 0; t < alg.B(); t++ {
+		if !enc[t][e].IsZero() && !alg.W[o][t].IsZero() {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+func sideMatching(alg *bilinear.Algorithm, side bilinear.Side) ([]int, error) {
+	a := alg.A()
+	deps := GuaranteedBaseDeps(alg, side)
+	adj := make([][]int, len(deps))
+	for x, d := range deps {
+		adj[x] = DepProducts(alg, side, d[0], d[1])
+	}
+	m := hall.ManyToOne(len(deps), alg.B(),
+		func(x int) []int { return adj[x] },
+		func(int) int { return alg.N0 })
+	if !m.Ok {
+		return nil, fmt.Errorf(
+			"routing: %s side %v: Hall condition fails (Lemma 5 witness: %d dependencies %v share only %d products)",
+			alg.Name, side, len(m.Violation), violatingDeps(deps, m.Violation), len(m.ViolationN))
+	}
+	match := make([]int, a*a)
+	for i := range match {
+		match[i] = -1
+	}
+	for x, d := range deps {
+		match[d[0]*a+d[1]] = m.Match[x]
+	}
+	return match, nil
+}
+
+func violatingDeps(deps [][2]int, idx []int) [][2]int {
+	out := make([][2]int, 0, len(idx))
+	for _, x := range idx {
+		out = append(out, deps[x])
+	}
+	return out
+}
+
+// MatchA returns the product assigned to the A-side base dependency
+// (a_e → c_o), or -1 if the dependency is not guaranteed.
+func (bm *BaseMatching) MatchA(e, o int) int { return bm.matchA[e*bm.Alg.A()+o] }
+
+// MatchB is MatchA for the B side.
+func (bm *BaseMatching) MatchB(e, o int) int { return bm.matchB[e*bm.Alg.A()+o] }
+
+// VerifyCapacities recounts how often each product is used by each side
+// matching and checks the n₀ capacity; it returns the maximum usage.
+func (bm *BaseMatching) VerifyCapacities() (int, error) {
+	a, b, n0 := bm.Alg.A(), bm.Alg.B(), bm.Alg.N0
+	maxUse := 0
+	for _, match := range [][]int{bm.matchA, bm.matchB} {
+		use := make([]int, b)
+		for i := 0; i < a*a; i++ {
+			if t := match[i]; t >= 0 {
+				use[t]++
+				if use[t] > maxUse {
+					maxUse = use[t]
+				}
+			}
+		}
+		for t, u := range use {
+			if u > n0 {
+				return maxUse, fmt.Errorf("routing: %s: product %d used %d > n₀ = %d times", bm.Alg.Name, t, u, n0)
+			}
+		}
+	}
+	return maxUse, nil
+}
+
+// Router enumerates the routings of the paper inside a standalone
+// graph G_k.
+type Router struct {
+	// G is the graph G_k the routing lives in.
+	G *cdag.Graph
+	// BM is the base matching the chains are lifted from.
+	BM *BaseMatching
+
+	k    int
+	n0   int
+	a, b int64
+	powA []int64 // a^i
+	powN []int64 // n0^i
+}
+
+// NewRouter builds a Router for g, computing the base matching.
+func NewRouter(g *cdag.Graph) (*Router, error) {
+	bm, err := NewBaseMatching(g.Alg)
+	if err != nil {
+		return nil, err
+	}
+	return NewRouterWithMatching(g, bm)
+}
+
+// NewRouterWithMatching builds a Router reusing an existing matching.
+func NewRouterWithMatching(g *cdag.Graph, bm *BaseMatching) (*Router, error) {
+	if bm.Alg.Name != g.Alg.Name {
+		return nil, fmt.Errorf("routing: matching for %s used with graph for %s", bm.Alg.Name, g.Alg.Name)
+	}
+	r := &Router{G: g, BM: bm, k: g.R, n0: g.Alg.N0, a: int64(g.A()), b: int64(g.B())}
+	r.powA = make([]int64, r.k+1)
+	r.powN = make([]int64, r.k+1)
+	r.powA[0], r.powN[0] = 1, 1
+	for i := 1; i <= r.k; i++ {
+		r.powA[i] = r.powA[i-1] * r.a
+		r.powN[i] = r.powN[i-1] * int64(r.n0)
+	}
+	return r, nil
+}
+
+// K returns the recursion depth of the routed graph.
+func (r *Router) K() int { return r.k }
+
+// GuaranteedA reports whether input multi-index in (of A) and output
+// multi-index out form a guaranteed dependency: equal row digits in
+// every slot.
+func (r *Router) GuaranteedA(in, out int64) bool {
+	n0 := int64(r.n0)
+	for l := 0; l < r.k; l++ {
+		e := in / r.powA[r.k-1-l] % r.a
+		o := out / r.powA[r.k-1-l] % r.a
+		if e/n0 != o/n0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GuaranteedB is GuaranteedA with column digits.
+func (r *Router) GuaranteedB(in, out int64) bool {
+	n0 := int64(r.n0)
+	for l := 0; l < r.k; l++ {
+		e := in / r.powA[r.k-1-l] % r.a
+		o := out / r.powA[r.k-1-l] % r.a
+		if e%n0 != o%n0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendChain appends the chain routing the guaranteed dependency
+// (input in → output out) on the given side to buf and returns it, or
+// returns buf unchanged with ok=false when the dependency is not
+// guaranteed. The chain is the Claim 2 lift of the base matching: it
+// visits encoding ranks 0..k of the side's encoding graph, the product
+// vertex of the slot-wise matched product multi-index, and decoding
+// ranks 1..k — a directed path of 2k+2 vertices.
+func (r *Router) AppendChain(side bilinear.Side, in, out int64, buf []cdag.V) ([]cdag.V, bool) {
+	match := r.BM.matchA
+	kind := cdag.EncA
+	if side == bilinear.SideB {
+		match = r.BM.matchB
+		kind = cdag.EncB
+	}
+	aInt := int(r.a)
+	// Slot-wise matched product coordinates.
+	var t64 int64
+	for l := 0; l < r.k; l++ {
+		e := int(in / r.powA[r.k-1-l] % r.a)
+		o := int(out / r.powA[r.k-1-l] % r.a)
+		t := match[e*aInt+o]
+		if t < 0 {
+			return buf, false
+		}
+		t64 = t64*r.b + int64(t)
+	}
+	// Encoding ranks 0..k: prefix of T, suffix of in.
+	for j := r.k; j >= 0; j-- {
+		// T's first j digits: t64 / b^(k-j).
+		tPrefix := t64 / powBk(r.b, r.k-j)
+		idx := tPrefix*r.powA[r.k-j] + in%r.powA[r.k-j]
+		buf = append(buf, r.G.ID(kind, j, idx))
+	}
+	// The loop above appended ranks k..0 in reverse; flip them in place.
+	start := len(buf) - (r.k + 1)
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	// Product = decoding rank 0.
+	buf = append(buf, r.G.ID(cdag.Dec, 0, t64))
+	// Decoding ranks 1..k: keep T's first k-j digits, out's last j.
+	for j := 1; j <= r.k; j++ {
+		idx := (t64/powBk(r.b, j))*r.powA[j] + out%r.powA[j]
+		buf = append(buf, r.G.ID(cdag.Dec, j, idx))
+	}
+	return buf, true
+}
+
+func powBk(b int64, k int) int64 {
+	p := int64(1)
+	for i := 0; i < k; i++ {
+		p *= b
+	}
+	return p
+}
+
+// PairPath computes the Lemma 4 path between input in of the given side
+// and output out, as the composition of three guaranteed-dependency
+// chains (the middle one reversed). Junction vertices are not
+// duplicated; the path has 3(2k+2) - 2 vertices.
+func (r *Router) PairPath(side bilinear.Side, in, out int64, buf []cdag.V) []cdag.V {
+	// Decompose in/out into per-slot row and column digits.
+	n0 := int64(r.n0)
+	iD := make([]int64, r.k) // row digits of input
+	jD := make([]int64, r.k) // col digits of input
+	oiD := make([]int64, r.k)
+	ojD := make([]int64, r.k)
+	for l := 0; l < r.k; l++ {
+		e := in / r.powA[r.k-1-l] % r.a
+		o := out / r.powA[r.k-1-l] % r.a
+		iD[l], jD[l] = e/n0, e%n0
+		oiD[l], ojD[l] = o/n0, o%n0
+	}
+	pack := func(rows, cols []int64) int64 {
+		var x int64
+		for l := 0; l < r.k; l++ {
+			x = x*r.a + rows[l]*n0 + cols[l]
+		}
+		return x
+	}
+	var c1, c2, c3 []cdag.V
+	var ok bool
+	switch side {
+	case bilinear.SideA:
+		// a_ij → c_ij′ → b_jj′ → c_i′j′.
+		mid := pack(iD, ojD) // c_{i,j′}
+		bIn := pack(jD, ojD) // b_{j,j′}
+		c1, ok = r.AppendChain(bilinear.SideA, in, mid, nil)
+		if !ok {
+			panic("routing: chain a→c_ij′ must be guaranteed")
+		}
+		c2, ok = r.AppendChain(bilinear.SideB, bIn, mid, nil)
+		if !ok {
+			panic("routing: chain b→c_ij′ must be guaranteed")
+		}
+		c3, ok = r.AppendChain(bilinear.SideB, bIn, out, nil)
+		if !ok {
+			panic("routing: chain b→c_i′j′ must be guaranteed")
+		}
+	default:
+		// b_ij → c_i′j → a_i′i → c_i′j′  (paper's B-side sequence).
+		mid := pack(oiD, jD) // c_{i′,j}
+		aIn := pack(oiD, iD) // a_{i′,i}
+		c1, ok = r.AppendChain(bilinear.SideB, in, mid, nil)
+		if !ok {
+			panic("routing: chain b→c_i′j must be guaranteed")
+		}
+		c2, ok = r.AppendChain(bilinear.SideA, aIn, mid, nil)
+		if !ok {
+			panic("routing: chain a→c_i′j must be guaranteed")
+		}
+		c3, ok = r.AppendChain(bilinear.SideA, aIn, out, nil)
+		if !ok {
+			panic("routing: chain a→c_i′j′ must be guaranteed")
+		}
+	}
+	buf = append(buf, c1...)
+	for i := len(c2) - 2; i >= 0; i-- { // reversed, junction dropped
+		buf = append(buf, c2[i])
+	}
+	buf = append(buf, c3[1:]...) // junction dropped
+	return buf
+}
+
+// ForEachPairPath enumerates the full input–output routing of the
+// Routing Theorem: for every input of A and of B (2aᵏ inputs) and every
+// output (aᵏ), the Lemma 4 path. fn receives a reused buffer.
+func (r *Router) ForEachPairPath(fn func(side bilinear.Side, in, out int64, path []cdag.V)) {
+	var buf []cdag.V
+	for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
+		for in := int64(0); in < r.powA[r.k]; in++ {
+			for out := int64(0); out < r.powA[r.k]; out++ {
+				buf = r.PairPath(side, in, out, buf[:0])
+				fn(side, in, out, buf)
+			}
+		}
+	}
+}
+
+// ForEachGuaranteedChain enumerates the Lemma 3 routing: one chain per
+// guaranteed dependency of either side.
+func (r *Router) ForEachGuaranteedChain(fn func(side bilinear.Side, in, out int64, chain []cdag.V)) {
+	var buf []cdag.V
+	for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
+		for in := int64(0); in < r.powA[r.k]; in++ {
+			for out := int64(0); out < r.powA[r.k]; out++ {
+				var ok bool
+				buf, ok = r.AppendChain(side, in, out, buf[:0])
+				if ok {
+					fn(side, in, out, buf)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package routing
+
+import (
+	"fmt"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+)
+
+// Stats reports the verified properties of a routing.
+type Stats struct {
+	// NumPaths is the number of paths in the routing.
+	NumPaths int64
+	// TotalHits is the summed length of all paths.
+	TotalHits int64
+	// MaxVertexHits is the largest number of times any single vertex is
+	// used collectively by the routing (the m of an m-routing).
+	MaxVertexHits int
+	// MaxMetaHits is the analogue over meta-vertices (all vertices
+	// carrying the same value).
+	MaxMetaHits int
+	// Bound is the paper's claimed bound for this routing.
+	Bound int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("paths=%d maxVertexHits=%d maxMetaHits=%d bound=%d",
+		s.NumPaths, s.MaxVertexHits, s.MaxMetaHits, s.Bound)
+}
+
+// checkAdjacent verifies that consecutive path vertices are joined by an
+// edge of G in either direction (routings ignore edge direction).
+func checkAdjacent(g *cdag.Graph, u, v cdag.V) bool {
+	for _, e := range g.Parents(v) {
+		if e.To == u {
+			return true
+		}
+	}
+	for _, e := range g.Parents(u) {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// checkChain verifies that the path is a chain: each vertex the parent
+// of the next.
+func checkChain(g *cdag.Graph, path []cdag.V) error {
+	for i := 0; i+1 < len(path); i++ {
+		found := false
+		for _, e := range g.Parents(path[i+1]) {
+			if e.To == path[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("routing: not a chain: no edge %s -> %s",
+				g.Label(path[i]), g.Label(path[i+1]))
+		}
+	}
+	return nil
+}
+
+// VerifyGuaranteedRouting enumerates the Lemma 3 routing (one chain per
+// guaranteed dependency of G_k, both sides) and verifies that it
+// consists of chains, that each chain connects its dependency's input to
+// its output, and that no vertex is hit more than 2n₀ᵏ times.
+func (r *Router) VerifyGuaranteedRouting() (Stats, error) {
+	g := r.G
+	hits := make([]int32, g.NumVertices())
+	st := Stats{Bound: 2 * r.powN[r.k]}
+	var firstErr error
+	r.ForEachGuaranteedChain(func(side bilinear.Side, in, out int64, chain []cdag.V) {
+		if firstErr != nil {
+			return
+		}
+		st.NumPaths++
+		st.TotalHits += int64(len(chain))
+		if len(chain) != 2*r.k+2 {
+			firstErr = fmt.Errorf("routing: chain length %d, want %d", len(chain), 2*r.k+2)
+			return
+		}
+		wantIn := g.InputA(in)
+		if side == bilinear.SideB {
+			wantIn = g.InputB(in)
+		}
+		if chain[0] != wantIn || chain[len(chain)-1] != g.Output(out) {
+			firstErr = fmt.Errorf("routing: chain endpoints %s..%s for dep (%d,%d)",
+				g.Label(chain[0]), g.Label(chain[len(chain)-1]), in, out)
+			return
+		}
+		if err := checkChain(g, chain); err != nil {
+			firstErr = err
+			return
+		}
+		for _, v := range chain {
+			hits[v]++
+		}
+	})
+	if firstErr != nil {
+		return st, firstErr
+	}
+	for _, h := range hits {
+		if int(h) > st.MaxVertexHits {
+			st.MaxVertexHits = int(h)
+		}
+	}
+	if int64(st.MaxVertexHits) > st.Bound {
+		return st, fmt.Errorf("routing: %s G_%d: Lemma 3 violated: vertex hit %d > 2n₀ᵏ = %d",
+			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
+	}
+	return st, nil
+}
+
+// VerifyFullRouting enumerates the Routing Theorem routing (a path for
+// every input–output pair of G_k) and verifies path validity, the
+// per-vertex hit bound 6aᵏ, and the per-meta-vertex hit bound 6aᵏ.
+func (r *Router) VerifyFullRouting() (Stats, error) {
+	g := r.G
+	nV := g.NumVertices()
+	hits := make([]int32, nV)
+	st := Stats{Bound: 6 * r.powA[r.k]}
+	var firstErr error
+	wantLen := 3*(2*r.k+2) - 2
+	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
+		if firstErr != nil {
+			return
+		}
+		st.NumPaths++
+		st.TotalHits += int64(len(path))
+		if len(path) != wantLen {
+			firstErr = fmt.Errorf("routing: pair path length %d, want %d", len(path), wantLen)
+			return
+		}
+		wantIn := g.InputA(in)
+		if side == bilinear.SideB {
+			wantIn = g.InputB(in)
+		}
+		if path[0] != wantIn || path[len(path)-1] != g.Output(out) {
+			firstErr = fmt.Errorf("routing: pair path endpoints %s..%s",
+				g.Label(path[0]), g.Label(path[len(path)-1]))
+			return
+		}
+		for _, v := range path {
+			hits[v]++
+		}
+	})
+	if firstErr != nil {
+		return st, firstErr
+	}
+
+	// Spot-check adjacency on a sample of paths (full adjacency of every
+	// path is covered by chain checks in VerifyGuaranteedRouting plus
+	// the junction structure; this guards the composition itself).
+	sample := int64(0)
+	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
+		if firstErr != nil || sample%257 != 0 {
+			sample++
+			return
+		}
+		sample++
+		for i := 0; i+1 < len(path); i++ {
+			if !checkAdjacent(g, path[i], path[i+1]) {
+				firstErr = fmt.Errorf("routing: pair path not connected at %s -- %s",
+					g.Label(path[i]), g.Label(path[i+1]))
+				return
+			}
+		}
+	})
+	if firstErr != nil {
+		return st, firstErr
+	}
+
+	// Per-vertex bound.
+	for _, h := range hits {
+		if int(h) > st.MaxVertexHits {
+			st.MaxVertexHits = int(h)
+		}
+	}
+	// Per-meta-vertex bound. The theorem counts how many *paths* hit a
+	// meta-vertex (each boundary-crossing path is charged once): within
+	// one path, a meta-vertex hit several times in a row (a chain
+	// climbing through its own copies) still counts once.
+	metaHits := make(map[cdag.V]int64)
+	roots := make(map[cdag.V]struct{}, 8)
+	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
+		clear(roots)
+		for _, v := range path {
+			roots[g.MetaRoot(v)] = struct{}{}
+		}
+		for root := range roots {
+			metaHits[root]++
+		}
+	})
+	for _, h := range metaHits {
+		if int(h) > st.MaxMetaHits {
+			st.MaxMetaHits = int(h)
+		}
+	}
+	if int64(st.MaxVertexHits) > st.Bound {
+		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: vertex hit %d > 6aᵏ = %d",
+			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
+	}
+	if int64(st.MaxMetaHits) > st.Bound {
+		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: meta-vertex hit %d > 6aᵏ = %d",
+			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
+	}
+	return st, nil
+}
+
+// VerifyChainUsage checks the exact counting claim inside Lemma 4's
+// proof: composed over all input–output pairs of both sides, every
+// guaranteed-dependency chain is used exactly 3n₀ᵏ times.
+func (r *Router) VerifyChainUsage() error {
+	aK := r.powA[r.k]
+	useA := make(map[[2]int64]int64)
+	useB := make(map[[2]int64]int64)
+	n0 := int64(r.n0)
+	for in := int64(0); in < aK; in++ {
+		for out := int64(0); out < aK; out++ {
+			// Recompute the three chains symbolically (per PairPath).
+			iD := make([]int64, r.k)
+			jD := make([]int64, r.k)
+			oiD := make([]int64, r.k)
+			ojD := make([]int64, r.k)
+			for l := 0; l < r.k; l++ {
+				e := in / r.powA[r.k-1-l] % r.a
+				o := out / r.powA[r.k-1-l] % r.a
+				iD[l], jD[l] = e/n0, e%n0
+				oiD[l], ojD[l] = o/n0, o%n0
+			}
+			pack := func(rows, cols []int64) int64 {
+				var x int64
+				for l := 0; l < r.k; l++ {
+					x = x*r.a + rows[l]*n0 + cols[l]
+				}
+				return x
+			}
+			// A-side source.
+			mid := pack(iD, ojD)
+			bIn := pack(jD, ojD)
+			useA[[2]int64{in, mid}]++
+			useB[[2]int64{bIn, mid}]++
+			useB[[2]int64{bIn, out}]++
+			// B-side source.
+			midB := pack(oiD, jD)
+			aIn := pack(oiD, iD)
+			useB[[2]int64{in, midB}]++
+			useA[[2]int64{aIn, midB}]++
+			useA[[2]int64{aIn, out}]++
+		}
+	}
+	want := 3 * r.powN[r.k]
+	for dep, c := range useA {
+		if c != want {
+			return fmt.Errorf("routing: A-chain (%d→%d) used %d times, want exactly %d", dep[0], dep[1], c, want)
+		}
+	}
+	for dep, c := range useB {
+		if c != want {
+			return fmt.Errorf("routing: B-chain (%d→%d) used %d times, want exactly %d", dep[0], dep[1], c, want)
+		}
+	}
+	// Every guaranteed dependency must actually appear.
+	wantDeps := int64(0)
+	for in := int64(0); in < aK; in++ {
+		for out := int64(0); out < aK; out++ {
+			if r.GuaranteedA(in, out) {
+				wantDeps++
+			}
+		}
+	}
+	if int64(len(useA)) != wantDeps {
+		return fmt.Errorf("routing: %d A-chains used, want %d", len(useA), wantDeps)
+	}
+	if int64(len(useB)) != wantDeps {
+		return fmt.Errorf("routing: %d B-chains used, want %d", len(useB), wantDeps)
+	}
+	return nil
+}
+
+// VerifyValueClassRouting re-verifies the Routing Theorem's 6aᵏ bound
+// with vertices identified by *value class* (cdag.ValueRoot) instead of
+// meta-vertex: vertices provably carrying the same value — including
+// nontrivial linear combinations reused by several multiplications —
+// count as one. This is the vertex identification of the paper's
+// "one vertex per value" model, and therefore an empirical test of the
+// Section 8 conjecture that the standing one-multiplication-per-
+// combination assumption can be lifted: for algorithms violating the
+// assumption (G.HasValueSharing()), a per-class load within 6aᵏ is
+// exactly what the conjecture predicts. The error reports a violation;
+// Stats.MaxMetaHits carries the per-class maximum (counted per path).
+func (r *Router) VerifyValueClassRouting() (Stats, error) {
+	g := r.G
+	st := Stats{Bound: 6 * r.powA[r.k]}
+	classHits := make(map[cdag.V]int64)
+	roots := make(map[cdag.V]struct{}, 16)
+	// Cache ValueRoot: it is pure per vertex.
+	cache := make([]cdag.V, g.NumVertices())
+	for i := range cache {
+		cache[i] = -1
+	}
+	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
+		st.NumPaths++
+		st.TotalHits += int64(len(path))
+		clear(roots)
+		for _, v := range path {
+			root := cache[v]
+			if root < 0 {
+				root = g.ValueRoot(v)
+				cache[v] = root
+			}
+			roots[root] = struct{}{}
+		}
+		for root := range roots {
+			classHits[root]++
+		}
+	})
+	for _, h := range classHits {
+		if int(h) > st.MaxMetaHits {
+			st.MaxMetaHits = int(h)
+		}
+	}
+	st.MaxVertexHits = st.MaxMetaHits
+	if int64(st.MaxMetaHits) > st.Bound {
+		return st, fmt.Errorf(
+			"routing: %s G_%d: Section 8 check: value class hit by %d paths > 6aᵏ = %d",
+			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
+	}
+	return st, nil
+}

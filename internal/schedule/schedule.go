@@ -1,0 +1,240 @@
+// Package schedule generates computation orders (topological orders of
+// the non-input vertices) for the CDAG G_r. Three generators span the
+// spectrum the paper's bounds are about:
+//
+//   - RecursiveDFS: the depth-first blocked order used by the
+//     communication-optimal algorithms of Ballard et al. [3]; with a
+//     reasonable replacement policy its I/O matches the paper's lower
+//     bound Θ((n/√M)^ω₀·M), making it the matching upper bound.
+//   - RankByRank: the breadth-first order that computes each layer
+//     completely before the next; its working set is a whole layer, so
+//     its I/O degenerates to Θ(|V(G_r)|) once M is below the layer size.
+//   - RandomTopological: a randomized baseline.
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathrouting/internal/cdag"
+)
+
+// RankByRank returns the layer-major order: encoding ranks 1..r of A,
+// then of B, then decoding ranks 0..r.
+func RankByRank(g *cdag.Graph) []cdag.V {
+	out := make([]cdag.V, 0, g.NumVertices())
+	for _, kind := range []cdag.Kind{cdag.EncA, cdag.EncB} {
+		for rank := 1; rank <= g.R; rank++ {
+			n := int64(g.LayerSize(kind, rank))
+			for i := int64(0); i < n; i++ {
+				out = append(out, g.ID(kind, rank, i))
+			}
+		}
+	}
+	for rank := 0; rank <= g.R; rank++ {
+		n := int64(g.LayerSize(cdag.Dec, rank))
+		for i := int64(0); i < n; i++ {
+			out = append(out, g.ID(cdag.Dec, rank, i))
+		}
+	}
+	return out
+}
+
+// RecursiveDFS returns the depth-first blocked order: at recursion depth
+// d with product prefix T, first compute the rank-d encodings of both
+// operands for every entry suffix, then recurse into the b subproblems
+// T·t in order, then combine their results into the decoding vertices of
+// rank r-d with prefix T. The working set at depth d is O(a^(r-d) · b),
+// which is what gives the schedule its Θ((n/√M)^ω₀·M) I/O under MIN/LRU.
+func RecursiveDFS(g *cdag.Graph) []cdag.V {
+	out := make([]cdag.V, 0, g.NumVertices())
+	powA := make([]int64, g.R+1)
+	powA[0] = 1
+	for i := 1; i <= g.R; i++ {
+		powA[i] = powA[i-1] * int64(g.A())
+	}
+	var rec func(d int, prefix int64)
+	rec = func(d int, prefix int64) {
+		nSuffix := powA[g.R-d]
+		if d > 0 {
+			for _, kind := range []cdag.Kind{cdag.EncA, cdag.EncB} {
+				for s := int64(0); s < nSuffix; s++ {
+					out = append(out, g.ID(kind, d, prefix*nSuffix+s))
+				}
+			}
+		}
+		if d == g.R {
+			out = append(out, g.Product(prefix))
+			return
+		}
+		for t := 0; t < g.B(); t++ {
+			rec(d+1, prefix*int64(g.B())+int64(t))
+		}
+		// Combine children: decoding rank r-d has prefix length d.
+		for s := int64(0); s < nSuffix; s++ {
+			out = append(out, g.ID(cdag.Dec, g.R-d, prefix*nSuffix+s))
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// RandomTopological returns a uniformly random-ish topological order of
+// the non-input vertices (Kahn's algorithm with random tie-breaking).
+func RandomTopological(g *cdag.Graph, rng *rand.Rand) []cdag.V {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	var buf []cdag.Edge
+	ready := make([]cdag.V, 0, 1024)
+	for v := 0; v < n; v++ {
+		vv := cdag.V(v)
+		if g.IsInput(vv) {
+			continue
+		}
+		buf = g.AppendParents(vv, buf[:0])
+		deg := int32(0)
+		for _, e := range buf {
+			if !g.IsInput(e.To) {
+				deg++
+			}
+		}
+		indeg[v] = deg
+		if deg == 0 {
+			ready = append(ready, vv)
+		}
+	}
+	out := make([]cdag.V, 0, n)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		out = append(out, v)
+		buf = g.AppendChildren(v, buf[:0])
+		for _, e := range buf {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks that sched is a complete topological order of the
+// non-input vertices of g: every non-input vertex exactly once, parents
+// before children. It returns the first violation.
+func Validate(g *cdag.Graph, sched []cdag.V) error {
+	n := g.NumVertices()
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range sched {
+		if g.IsInput(v) {
+			return errInput(g, v)
+		}
+		if pos[v] >= 0 {
+			return errDup(g, v)
+		}
+		pos[v] = int32(i)
+	}
+	var buf []cdag.Edge
+	for v := 0; v < n; v++ {
+		vv := cdag.V(v)
+		if g.IsInput(vv) {
+			continue
+		}
+		if pos[v] < 0 {
+			return errMissing(g, vv)
+		}
+		buf = g.AppendParents(vv, buf[:0])
+		for _, e := range buf {
+			if !g.IsInput(e.To) && pos[e.To] >= pos[v] {
+				return errOrder(g, e.To, vv)
+			}
+		}
+	}
+	return nil
+}
+
+func errInput(g *cdag.Graph, v cdag.V) error {
+	return fmt.Errorf("schedule: contains input %s", g.Label(v))
+}
+
+func errDup(g *cdag.Graph, v cdag.V) error {
+	return fmt.Errorf("schedule: duplicates %s", g.Label(v))
+}
+
+func errMissing(g *cdag.Graph, v cdag.V) error {
+	return fmt.Errorf("schedule: missing %s", g.Label(v))
+}
+
+func errOrder(g *cdag.Graph, parent, child cdag.V) error {
+	return fmt.Errorf("schedule: %s scheduled at or after its child %s", g.Label(parent), g.Label(child))
+}
+
+// HybridDFS returns the blocked order that recurses depth-first only
+// down to the given depth and computes each remaining subtree
+// layer-by-layer (rank-major within the subtree). depth = 0 degenerates
+// to RankByRank's locality (whole-graph layers per subtree = the whole
+// graph), depth = r to RecursiveDFS. It is the schedule-structure
+// ablation: the I/O of HybridDFS interpolates between the two extremes
+// as depth varies.
+func HybridDFS(g *cdag.Graph, depth int) []cdag.V {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= g.R {
+		return RecursiveDFS(g)
+	}
+	out := make([]cdag.V, 0, g.NumVertices())
+	powA := make([]int64, g.R+1)
+	powA[0] = 1
+	for i := 1; i <= g.R; i++ {
+		powA[i] = powA[i-1] * int64(g.A())
+	}
+	powB := make([]int64, g.R+1)
+	powB[0] = 1
+	for i := 1; i <= g.R; i++ {
+		powB[i] = powB[i-1] * int64(g.B())
+	}
+	var rec func(d int, prefix int64)
+	rec = func(d int, prefix int64) {
+		nSuffix := powA[g.R-d]
+		if d > 0 {
+			for _, kind := range []cdag.Kind{cdag.EncA, cdag.EncB} {
+				for s := int64(0); s < nSuffix; s++ {
+					out = append(out, g.ID(kind, d, prefix*nSuffix+s))
+				}
+			}
+		}
+		if d == depth {
+			// Rank-major over the subtree rooted at prefix: encoding
+			// ranks d+1..r, then decoding ranks 0..r-d with prefix.
+			for rank := d + 1; rank <= g.R; rank++ {
+				span := powB[rank-d] * powA[g.R-rank]
+				for _, kind := range []cdag.Kind{cdag.EncA, cdag.EncB} {
+					for s := int64(0); s < span; s++ {
+						out = append(out, g.ID(kind, rank, prefix*span+s))
+					}
+				}
+			}
+			for rank := 0; rank <= g.R-d; rank++ {
+				span := powB[g.R-d-rank] * powA[rank]
+				for s := int64(0); s < span; s++ {
+					out = append(out, g.ID(cdag.Dec, rank, prefix*span+s))
+				}
+			}
+			return
+		}
+		for t := 0; t < g.B(); t++ {
+			rec(d+1, prefix*int64(g.B())+int64(t))
+		}
+		for s := int64(0); s < nSuffix; s++ {
+			out = append(out, g.ID(cdag.Dec, g.R-d, prefix*nSuffix+s))
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,134 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+)
+
+func mustGraph(t *testing.T, alg *bilinear.Algorithm, r int) *cdag.Graph {
+	t.Helper()
+	g, err := cdag.New(alg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd(), bilinear.Classical(2), bilinear.DisconnectedFast()} {
+		for r := 1; r <= 3; r++ {
+			if alg.A() >= 16 && r > 2 {
+				continue
+			}
+			g := mustGraph(t, alg, r)
+			for name, sched := range map[string][]cdag.V{
+				"rank":   RankByRank(g),
+				"dfs":    RecursiveDFS(g),
+				"random": RandomTopological(g, rng),
+			} {
+				if err := Validate(g, sched); err != nil {
+					t.Errorf("%s r=%d %s: %v", alg.Name, r, name, err)
+				}
+				wantLen := g.NumVertices() - 2*g.LayerSize(cdag.EncA, 0)
+				if len(sched) != wantLen {
+					t.Errorf("%s r=%d %s: schedule length %d, want %d", alg.Name, r, name, len(sched), wantLen)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateDetectsViolations(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	good := RecursiveDFS(g)
+
+	// Input included.
+	bad := append([]cdag.V{g.InputA(0)}, good...)
+	if Validate(g, bad) == nil {
+		t.Error("input accepted")
+	}
+	// Duplicate.
+	bad = append(append([]cdag.V{}, good...), good[0])
+	if Validate(g, bad) == nil {
+		t.Error("duplicate accepted")
+	}
+	// Missing vertex.
+	if Validate(g, good[:len(good)-1]) == nil {
+		t.Error("missing vertex accepted")
+	}
+	// Order violation: swap a product with one of its decoding children.
+	bad = append([]cdag.V{}, good...)
+	var pi, di int
+	for i, v := range bad {
+		if g.IsProduct(v) && pi == 0 {
+			pi = i
+		}
+	}
+	for i, v := range bad {
+		kind, rank, _ := g.Locate(v)
+		if kind == cdag.Dec && rank == g.R && i > pi {
+			di = i
+			break
+		}
+	}
+	bad[pi], bad[di] = bad[di], bad[pi]
+	if Validate(g, bad) == nil {
+		t.Error("order violation accepted")
+	}
+}
+
+func TestDFSOrderStructure(t *testing.T) {
+	// The first computed vertices must be encoding rank-1 vertices of
+	// subproblem prefix 0, and the last must be outputs.
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	sched := RecursiveDFS(g)
+	kind, rank, _ := g.Locate(sched[0])
+	if kind != cdag.EncA || rank != 1 {
+		t.Errorf("first scheduled vertex %s", g.Label(sched[0]))
+	}
+	last := sched[len(sched)-1]
+	if !g.IsOutput(last) {
+		t.Errorf("last scheduled vertex %s", g.Label(last))
+	}
+}
+
+func TestRandomTopologicalDiffersAcrossSeeds(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	a := RandomTopological(g, rand.New(rand.NewSource(1)))
+	b := RandomTopological(g, rand.New(rand.NewSource(2)))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("random schedules identical across seeds")
+	}
+}
+
+func TestHybridDFSValidAndInterpolates(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 4)
+	for depth := 0; depth <= 4; depth++ {
+		sched := HybridDFS(g, depth)
+		if err := Validate(g, sched); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+	// depth = r coincides with RecursiveDFS.
+	full := RecursiveDFS(g)
+	hyb := HybridDFS(g, 4)
+	for i := range full {
+		if full[i] != hyb[i] {
+			t.Fatal("depth=r hybrid differs from RecursiveDFS")
+		}
+	}
+	if HybridDFS(g, -3) == nil {
+		t.Fatal("negative depth mishandled")
+	}
+}

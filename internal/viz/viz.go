@@ -1,0 +1,316 @@
+// Package viz renders the objects of the paper as Graphviz DOT and
+// ASCII art, reproducing its illustrative figures:
+//
+//	Figure 1 — the base graph G₁ (BaseGraphDOT)
+//	Figure 2 — a meta-vertex of copies (MetaVertexDOT)
+//	Figures 3, 4 — routing paths with zags (PathDOT)
+//	Figure 5 — a computation segment S inside G_r (SegmentDOT)
+//	Figure 6 — the Lemma 4 walk across A, B, C (Lemma4ASCII)
+//	Figure 8 — the matching graph H adjacency of one dependency (HGraphDOT)
+//	Figure 9 — the reduced graph G₁° of Lemma 5 (G1CircleDOT)
+//
+// Outputs are deterministic strings; pipe them to `dot -Tpng`.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/routing"
+)
+
+// entryName formats a matrix entry like "a11" (1-indexed).
+func entryName(prefix string, n0, e int) string {
+	return fmt.Sprintf("%s%d%d", prefix, e/n0+1, e%n0+1)
+}
+
+// BaseGraphDOT renders the base graph G₁ of the algorithm (Figure 1):
+// inputs at the bottom, the b multiplication vertices in the middle,
+// outputs at the top.
+func BaseGraphDOT(alg *bilinear.Algorithm) string {
+	var b strings.Builder
+	n0, a := alg.N0, alg.A()
+	fmt.Fprintf(&b, "digraph G1 {\n  rankdir=BT;\n  label=\"G_1 of %s (a=%d, b=%d)\";\n", alg.Name, a, alg.B())
+	b.WriteString("  { rank=same; ")
+	for e := 0; e < a; e++ {
+		fmt.Fprintf(&b, "%s; %s; ", entryName("a", n0, e), entryName("b", n0, e))
+	}
+	b.WriteString("}\n  { rank=same; ")
+	for t := 0; t < alg.B(); t++ {
+		fmt.Fprintf(&b, "m%d; ", t+1)
+	}
+	b.WriteString("}\n  { rank=same; ")
+	for o := 0; o < a; o++ {
+		fmt.Fprintf(&b, "%s; ", entryName("c", n0, o))
+	}
+	b.WriteString("}\n")
+	for t := 0; t < alg.B(); t++ {
+		fmt.Fprintf(&b, "  m%d [shape=circle,style=filled,fillcolor=lightgray];\n", t+1)
+		for e := 0; e < a; e++ {
+			if !alg.U[t][e].IsZero() {
+				fmt.Fprintf(&b, "  %s -> m%d [label=\"%s\"];\n", entryName("a", n0, e), t+1, alg.U[t][e])
+			}
+			if !alg.V[t][e].IsZero() {
+				fmt.Fprintf(&b, "  %s -> m%d [label=\"%s\",style=dashed];\n", entryName("b", n0, e), t+1, alg.V[t][e])
+			}
+		}
+	}
+	for o := 0; o < a; o++ {
+		for t := 0; t < alg.B(); t++ {
+			if !alg.W[o][t].IsZero() {
+				fmt.Fprintf(&b, "  m%d -> %s [label=\"%s\"];\n", t+1, entryName("c", n0, o), alg.W[o][t])
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// MetaVertexDOT renders the meta-vertex rooted at root inside g
+// (Figure 2): the root and its upward subtree of copies, plus their
+// immediate non-copy neighbors in gray.
+func MetaVertexDOT(g *cdag.Graph, root cdag.V) string {
+	members := g.MetaMembers(root)
+	inMeta := map[cdag.V]bool{}
+	for _, m := range members {
+		inMeta[m] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph meta {\n  rankdir=BT;\n  label=\"meta-vertex of %s\";\n", g.Label(root))
+	for _, m := range members {
+		shape := "ellipse"
+		if m == root {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"%s\",shape=%s,style=filled,fillcolor=lightblue];\n", m, g.Label(m), shape)
+		for _, e := range g.Children(m) {
+			if inMeta[e.To] {
+				fmt.Fprintf(&b, "  v%d -> v%d;\n", m, e.To)
+			} else {
+				fmt.Fprintf(&b, "  x%d [label=\"%s\",color=gray,fontcolor=gray];\n  v%d -> x%d [color=gray];\n",
+					e.To, g.Label(e.To), m, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PathDOT renders a routing path (Figures 3 and 4): the path vertices in
+// order with red edges, each labeled by its layer and rank.
+func PathDOT(g *cdag.Graph, path []cdag.V, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph path {\n  rankdir=BT;\n  label=%q;\n", title)
+	seen := map[cdag.V]bool{}
+	for _, v := range path {
+		if !seen[v] {
+			seen[v] = true
+			fmt.Fprintf(&b, "  v%d [label=\"%s\"];\n", v, g.Label(v))
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		fmt.Fprintf(&b, "  v%d -> v%d [color=red,label=\"%d\"];\n", path[i], path[i+1], i+1)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SegmentDOT renders a small G_r with the vertex set s highlighted in
+// blue (Figure 5). Intended for graphs of at most a few thousand
+// vertices.
+func SegmentDOT(g *cdag.Graph, s map[cdag.V]struct{}) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph segment {\n  rankdir=BT;\n  label=\"segment S in G_%d of %s\";\n", g.R, g.Alg.Name)
+	n := g.NumVertices()
+	for v := cdag.V(0); int(v) < n; v++ {
+		if _, in := s[v]; in {
+			fmt.Fprintf(&b, "  v%d [label=\"%s\",style=filled,fillcolor=lightblue];\n", v, g.Label(v))
+		} else {
+			fmt.Fprintf(&b, "  v%d [label=\"%s\"];\n", v, g.Label(v))
+		}
+	}
+	var buf []cdag.Edge
+	for v := cdag.V(0); int(v) < n; v++ {
+		buf = g.AppendChildren(v, buf[:0])
+		for _, e := range buf {
+			fmt.Fprintf(&b, "  v%d -> v%d;\n", v, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Lemma4ASCII renders the Figure 6 walk for the A-side composition
+// a_ij → c_ij′ → b_jj′ → c_i′j′ on n×n index grids: '1' marks the first
+// chain's endpoints, '2' the reversed middle chain, '3' the last.
+func Lemma4ASCII(n, i, j, iP, jP int) string {
+	if i >= n || j >= n || iP >= n || jP >= n || i < 0 || j < 0 || iP < 0 || jP < 0 {
+		panic(fmt.Errorf("viz: Lemma4ASCII indices out of range n=%d", n))
+	}
+	grid := func(name string, marks map[[2]int]byte) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s:\n", name)
+		for r := 0; r < n; r++ {
+			b.WriteString("  ")
+			for c := 0; c < n; c++ {
+				if m, ok := marks[[2]int{r, c}]; ok {
+					b.WriteByte(m)
+				} else {
+					b.WriteByte('.')
+				}
+				b.WriteByte(' ')
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	a := map[[2]int]byte{{i, j}: '1'}
+	bm := map[[2]int]byte{{j, jP}: '2'}
+	c := map[[2]int]byte{{i, jP}: '1', {iP, jP}: '3'}
+	if i == iP {
+		c[[2]int{i, jP}] = '*'
+	}
+	return grid("A", a) + grid("B", bm) + grid("C", c) +
+		fmt.Sprintf("walk: a[%d,%d] -> c[%d,%d] -> b[%d,%d] -> c[%d,%d]\n",
+			i+1, j+1, i+1, jP+1, j+1, jP+1, iP+1, jP+1)
+}
+
+// HGraphDOT renders the matching-graph adjacency of one guaranteed base
+// dependency (Figure 8): the products through which a chain from input
+// e to output o may pass, highlighted in red on the base graph.
+func HGraphDOT(alg *bilinear.Algorithm, side bilinear.Side, e, o int) string {
+	adj := routing.DepProducts(alg, side, e, o)
+	hot := map[int]bool{}
+	for _, t := range adj {
+		hot[t] = true
+	}
+	n0 := alg.N0
+	pre := "a"
+	if side == bilinear.SideB {
+		pre = "b"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph H {\n  rankdir=BT;\n  label=\"products admitting a chain %s -> %s\";\n",
+		entryName(pre, n0, e), entryName("c", n0, o))
+	for t := 0; t < alg.B(); t++ {
+		color := "black"
+		if hot[t] {
+			color = "red"
+		}
+		fmt.Fprintf(&b, "  m%d [color=%s];\n", t+1, color)
+	}
+	fmt.Fprintf(&b, "  %s [style=filled,fillcolor=lightblue];\n  %s [style=filled,fillcolor=lightblue];\n",
+		entryName(pre, n0, e), entryName("c", n0, o))
+	enc := alg.U
+	if side == bilinear.SideB {
+		enc = alg.V
+	}
+	for t := 0; t < alg.B(); t++ {
+		if !enc[t][e].IsZero() {
+			fmt.Fprintf(&b, "  %s -> m%d;\n", entryName(pre, n0, e), t+1)
+		}
+		if !alg.W[o][t].IsZero() {
+			fmt.Fprintf(&b, "  m%d -> %s;\n", t+1, entryName("c", n0, o))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// G1CircleDOT renders G₁° of Lemma 5 (Figure 9): the base graph
+// restricted to row i of A and C with only the products in keep
+// retained; removed products are crossed out (drawn gray, dashed).
+func G1CircleDOT(alg *bilinear.Algorithm, row int, keep []int) string {
+	kept := map[int]bool{}
+	for _, t := range keep {
+		kept[t] = true
+	}
+	n0 := alg.N0
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph G1circle {\n  rankdir=BT;\n  label=\"G_1° for row %d of %s\";\n", row+1, alg.Name)
+	for t := 0; t < alg.B(); t++ {
+		if kept[t] {
+			fmt.Fprintf(&b, "  m%d;\n", t+1)
+		} else {
+			fmt.Fprintf(&b, "  m%d [style=dashed,color=gray,label=\"m%d ✗\"];\n", t+1, t+1)
+		}
+	}
+	for jj := 0; jj < n0; jj++ {
+		e := row*n0 + jj
+		for t := 0; t < alg.B(); t++ {
+			if alg.U[t][e].IsZero() {
+				continue
+			}
+			style := ""
+			if !kept[t] {
+				style = " [style=dashed,color=gray]"
+			}
+			fmt.Fprintf(&b, "  %s -> m%d%s;\n", entryName("a", n0, e), t+1, style)
+		}
+	}
+	for jj := 0; jj < n0; jj++ {
+		o := row*n0 + jj
+		for t := 0; t < alg.B(); t++ {
+			if alg.W[o][t].IsZero() {
+				continue
+			}
+			style := ""
+			if !kept[t] {
+				style = " [style=dashed,color=gray]"
+			}
+			fmt.Fprintf(&b, "  m%d -> %s%s;\n", t+1, entryName("c", n0, o), style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SortedKeys is a helper for deterministic iteration in renderers and
+// tests.
+func SortedKeys[K ~int32 | ~int, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// RecursionDOT renders the Claim 2 picture (Figure 7): how G'_k is
+// assembled from b copies of G'_{k-1} by replacing adjacent middle-rank
+// pairs with guaranteed dependencies. It draws the base graph's A-side
+// encoding and decoding with the middle layer shown as collapsed
+// sub-boxes.
+func RecursionDOT(alg *bilinear.Algorithm) string {
+	n0, a := alg.N0, alg.A()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph Gprime {\n  rankdir=BT;\n  label=\"G'_k from %d copies of G'_(k-1) (%s)\";\n",
+		alg.B(), alg.Name)
+	for t := 0; t < alg.B(); t++ {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"G'_(k-1) #%d\";\n    sub%d [shape=box3d];\n  }\n",
+			t, t+1, t)
+	}
+	for e := 0; e < a; e++ {
+		name := entryName("a", n0, e)
+		fmt.Fprintf(&b, "  %s;\n", name)
+		for t := 0; t < alg.B(); t++ {
+			if !alg.U[t][e].IsZero() {
+				fmt.Fprintf(&b, "  %s -> sub%d;\n", name, t)
+			}
+		}
+	}
+	for o := 0; o < a; o++ {
+		name := entryName("c", n0, o)
+		fmt.Fprintf(&b, "  %s;\n", name)
+		for t := 0; t < alg.B(); t++ {
+			if !alg.W[o][t].IsZero() {
+				fmt.Fprintf(&b, "  sub%d -> %s;\n", t, name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/pebble"
+	"pathrouting/internal/routing"
+	"pathrouting/internal/schedule"
+)
+
+func TestBaseGraphDOTStrassen(t *testing.T) {
+	dot := BaseGraphDOT(bilinear.Strassen())
+	for _, want := range []string{"digraph G1", "m7", "a11 -> m1", "b22", "c11", "rankdir=BT"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Contains(dot, "m8") {
+		t.Error("Strassen has only 7 products")
+	}
+}
+
+func TestMetaVertexDOT(t *testing.T) {
+	g, err := cdag.New(bilinear.Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a root with copies above it.
+	for v := cdag.V(0); int(v) < g.NumVertices(); v++ {
+		if g.IsCopy(v) {
+			root := g.MetaRoot(v)
+			dot := MetaVertexDOT(g, root)
+			if !strings.Contains(dot, "doublecircle") || !strings.Contains(dot, "lightblue") {
+				t.Error("meta-vertex rendering incomplete")
+			}
+			return
+		}
+	}
+	t.Fatal("no copy found")
+}
+
+func TestPathDOT(t *testing.T) {
+	g, err := cdag.New(bilinear.Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, ok := r.AppendChain(bilinear.SideA, 0, 0, nil)
+	if !ok {
+		t.Fatal("chain missing")
+	}
+	dot := PathDOT(g, chain, "Figure 4 style chain")
+	if !strings.Contains(dot, "color=red") {
+		t.Error("path edges not highlighted")
+	}
+	if strings.Count(dot, "->") != len(chain)-1 {
+		t.Errorf("edge count %d, want %d", strings.Count(dot, "->"), len(chain)-1)
+	}
+}
+
+func TestSegmentDOT(t *testing.T) {
+	g, err := cdag.New(bilinear.Strassen(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := schedule.RecursiveDFS(g)
+	s := pebble.MetaClosure(g, sched[:5])
+	dot := SegmentDOT(g, s)
+	if strings.Count(dot, "lightblue") < 5 {
+		t.Error("segment vertices not highlighted")
+	}
+}
+
+func TestLemma4ASCII(t *testing.T) {
+	art := Lemma4ASCII(3, 0, 1, 2, 2)
+	for _, want := range []string{"A:", "B:", "C:", "1", "2", "3", "walk:"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("missing %q in\n%s", want, art)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range indices accepted")
+		}
+	}()
+	Lemma4ASCII(2, 0, 0, 5, 0)
+}
+
+func TestHGraphDOT(t *testing.T) {
+	dot := HGraphDOT(bilinear.Strassen(), bilinear.SideA, 1, 0) // a12 -> c11 (Figure 8's example)
+	if !strings.Contains(dot, "color=red") {
+		t.Error("no products highlighted")
+	}
+	if !strings.Contains(dot, "a12") || !strings.Contains(dot, "c11") {
+		t.Error("endpoints missing")
+	}
+}
+
+func TestG1CircleDOT(t *testing.T) {
+	dot := G1CircleDOT(bilinear.Strassen(), 1, []int{0, 1, 2})
+	if !strings.Contains(dot, "✗") {
+		t.Error("removed products not crossed out")
+	}
+	if !strings.Contains(dot, "a21") {
+		t.Error("row restriction missing")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Errorf("keys %v", keys)
+	}
+}
+
+func TestRecursionDOT(t *testing.T) {
+	dot := RecursionDOT(bilinear.Strassen())
+	if strings.Count(dot, "cluster_") != 7 {
+		t.Errorf("expected 7 sub-boxes, got %d", strings.Count(dot, "cluster_"))
+	}
+	if !strings.Contains(dot, "a11 -> sub0") {
+		t.Error("input wiring missing")
+	}
+}

@@ -1,0 +1,385 @@
+package pathrouting
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCatalogAllValid(t *testing.T) {
+	algs := Catalog()
+	if len(algs) < 7 {
+		t.Fatalf("catalog has %d algorithms", len(algs))
+	}
+	for _, alg := range algs {
+		if err := alg.Validate(); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+func TestMeasureIOAgainstBounds(t *testing.T) {
+	// The end-to-end sandwich: closed-form lower bound ≤ measured DFS
+	// I/O ≤ closed-form upper bound (up to the model's constants).
+	alg := Strassen()
+	r, m := 5, 64
+	n := float64(int(1) << r)
+	res, err := MeasureIO(alg, r, m, MIN, ScheduleDFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SequentialLowerBound(alg, n, float64(m))
+	ub := DFSUpperBound(alg, n, float64(m))
+	if float64(res.IO()) < lb/12 {
+		t.Errorf("measured %d below lower bound %v (even with constant slack)", res.IO(), lb)
+	}
+	if float64(res.IO()) > 4*ub {
+		t.Errorf("measured %d far above DFS upper bound %v", res.IO(), ub)
+	}
+}
+
+func TestVerifyRoutingTheoremPublicAPI(t *testing.T) {
+	st, err := VerifyRoutingTheorem(Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(st.MaxVertexHits) > st.Bound {
+		t.Errorf("stats inconsistent: %v", st)
+	}
+	if _, err := VerifyGuaranteedRouting(Winograd(), 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := VerifyDecodingRouting(Strassen(), 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := VerifyDecodingRouting(Classical(2), 2); err == nil {
+		t.Error("decoding routing must fail for classical")
+	}
+}
+
+func TestCertifySchedulePublicAPI(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(g, ScheduleDFS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifySchedule(g, sched, CertifyOptions{K: 2, RelaxedTarget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.MinDeltaRatio < 1.0/12 {
+		t.Errorf("ratio %v", cert.MinDeltaRatio)
+	}
+}
+
+func TestBuildScheduleErrors(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildSchedule(g, ScheduleRandom, nil); err == nil {
+		t.Error("random schedule without rng accepted")
+	}
+	if _, err := BuildSchedule(g, ScheduleKind(99), nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := BuildSchedule(g, ScheduleRandom, rand.New(rand.NewSource(1))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionMotivation(t *testing.T) {
+	if !AnalyzeExpansion(Strassen()).EdgeExpansionUsable {
+		t.Error("expansion must be usable for Strassen")
+	}
+	if AnalyzeExpansion(DisconnectedFast()).EdgeExpansionUsable {
+		t.Error("expansion must fail for disconnected56 — the paper's motivation")
+	}
+}
+
+func TestParallelFacade(t *testing.T) {
+	if _, err := RunCannon(64, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := RunTwoPointFiveD(64, 4, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := RunCAPS(Strassen(), 256, 49, 1<<30); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := RandomDense(12, 12, rng), RandomDense(12, 12, rng)
+	want := Mul(a, b)
+	if !MulBlocked(a, b, 4).Equalish(want, 1e-9) {
+		t.Error("blocked mismatch")
+	}
+	if !MulFast(Strassen(), a, b, 3).Equalish(want, 1e-8) {
+		t.Error("fast mismatch")
+	}
+}
+
+func TestBoundFacadeConsistency(t *testing.T) {
+	alg := Strassen()
+	if CrossoverN(alg, 4096) <= 1 {
+		t.Error("no crossover")
+	}
+	if ProofLowerBound(alg, 20, 64) <= 0 {
+		t.Error("proof bound vacuous")
+	}
+	if MemoryIndependentLowerBound(alg, 1024, 1) != 1024*1024 {
+		t.Error("memory-independent bound at P=1")
+	}
+	if ParallelLowerBound(alg, 1024, 64, 4)*4 != SequentialLowerBound(alg, 1024, 64) {
+		t.Error("parallel bound is not sequential/P")
+	}
+	// Above the crossover the classical bound dominates (fast moves
+	// fewer words asymptotically); n = 2^20 is far above it for M = 64.
+	if ClassicalLowerBound(1<<20, 64) <= SequentialLowerBound(alg, 1<<20, 64) {
+		t.Error("classical bound must dominate far above the crossover")
+	}
+}
+
+func TestSection8Facade(t *testing.T) {
+	st, err := VerifySection8(DisconnectedFast(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxMetaHits == 0 || int64(st.MaxMetaHits) > st.Bound {
+		t.Errorf("section 8 stats: %v", st)
+	}
+}
+
+func TestCompareMatchingsFacade(t *testing.T) {
+	cmp, err := CompareMatchings(Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HallLoad > 2 {
+		t.Errorf("hall load %d", cmp.HallLoad)
+	}
+}
+
+func TestRankBalancedPartitionFacade(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RankBalancedPartition(g, 4, PartitionContiguous, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalPath <= 0 {
+		t.Error("no communication")
+	}
+}
+
+func TestVerifyLemma6Facade(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if err := VerifyLemma6(Strassen(), rng, 0); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyLemma6(DisconnectedFast(), rng, 50); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelFacadeFunctions(t *testing.T) {
+	st, err := VerifyRoutingTheoremParallel(Strassen(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := VerifyRoutingTheorem(Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxVertexHits != seq.MaxVertexHits {
+		t.Errorf("parallel %d vs sequential %d", st.MaxVertexHits, seq.MaxVertexHits)
+	}
+
+	g, err := NewCDAG(Strassen(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(g, ScheduleDFS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := SweepIO(g, sched, MIN, []int{16, 64}, 2)
+	if len(sweep) != 2 || sweep[0].Err != nil || sweep[0].IO <= sweep[1].IO {
+		t.Errorf("sweep results: %+v", sweep)
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	a, b := RandomDense(20, 20, rng), RandomDense(20, 20, rng)
+	if !MulFastParallel(Strassen(), a, b, 5, 0).Equalish(Mul(a, b), 1e-8) {
+		t.Error("MulFastParallel mismatch")
+	}
+
+	hy := BuildHybridSchedule(g, 1)
+	if len(hy) != len(sched) {
+		t.Errorf("hybrid schedule length %d", len(hy))
+	}
+
+	lv, err := AnalyzeLiveness(g, sched)
+	if err != nil || lv.Peak <= 0 {
+		t.Errorf("liveness: %+v %v", lv, err)
+	}
+	mc, err := AnalyzeStackDistances(g, sched)
+	if err != nil || mc.Compulsory <= 0 {
+		t.Errorf("stack distances: %v", err)
+	}
+}
+
+func TestCertifySection5Facade(t *testing.T) {
+	g, err := NewCDAG(Strassen(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(g, ScheduleDFS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifySection5(g, sched, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.MinDeltaRatio < 1.0/22 {
+		t.Errorf("ratio %v", cert.MinDeltaRatio)
+	}
+	owner := make([]int32, g.NumVertices())
+	for v := range owner {
+		owner[v] = int32(v % 3)
+	}
+	par, err := CertifyParallel(g, sched, owner, 3, 2, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.CompleteSegments == 0 {
+		t.Error("no parallel segments")
+	}
+}
+
+func TestDualsAndSerializationFacade(t *testing.T) {
+	duals := Duals(Winograd())
+	if len(duals) < 3 {
+		t.Errorf("duals: %d", len(duals))
+	}
+	data, err := MarshalAlgorithm(Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalAlgorithm(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.B() != 7 {
+		t.Error("round trip shape")
+	}
+	rng := rand.New(rand.NewSource(9))
+	orbit, err := RandomOrbitAlgorithm(rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orbit.B() != 7 {
+		t.Error("orbit shape")
+	}
+	if ArithmeticOps(Strassen(), 1) != 43 {
+		t.Error("ops facade")
+	}
+	if MinFeasibleM(Strassen()) != 5 {
+		t.Error("min feasible M facade")
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	bad := Strassen()
+	if _, err := NewCDAG(bad, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := MeasureIO(bad, 0, 64, MIN, ScheduleDFS); err == nil {
+		t.Error("MeasureIO r=0 accepted")
+	}
+	if _, err := MeasureIO(bad, 3, 2, MIN, ScheduleDFS); err == nil {
+		t.Error("MeasureIO infeasible M accepted")
+	}
+	if _, err := VerifyRoutingTheorem(bad, 0); err == nil {
+		t.Error("VerifyRoutingTheorem k=0 accepted")
+	}
+	if _, err := VerifyRoutingTheoremParallel(bad, 0, 2); err == nil {
+		t.Error("parallel k=0 accepted")
+	}
+	if _, err := VerifyGuaranteedRouting(bad, 0); err == nil {
+		t.Error("VerifyGuaranteedRouting k=0 accepted")
+	}
+	if _, err := VerifyDecodingRouting(bad, 0); err == nil {
+		t.Error("VerifyDecodingRouting k=0 accepted")
+	}
+	if _, err := VerifySection8(bad, 0); err == nil {
+		t.Error("VerifySection8 k=0 accepted")
+	}
+	if _, err := CompareMatchings(bad, 0); err == nil {
+		t.Error("CompareMatchings k=0 accepted")
+	}
+	if _, err := Laderman(); err != nil {
+		t.Error("Laderman must construct")
+	}
+	if _, err := UnmarshalAlgorithm([]byte("garbage")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	g, err := NewCDAG(bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(g, ScheduleDFS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifySchedule(g, sched, CertifyOptions{K: 0, M: 1}); err == nil {
+		t.Error("CertifySchedule K=0 accepted")
+	}
+	if _, err := CertifySection5(g, sched, 0, 1); err == nil {
+		t.Error("CertifySection5 k=0 accepted")
+	}
+	if _, err := CertifyParallel(g, sched, nil, 2, 1, 1, 0); err == nil {
+		t.Error("CertifyParallel nil owners accepted")
+	}
+	if _, err := AnalyzeLiveness(g, sched); err != nil {
+		t.Error(err)
+	}
+	if _, err := RunCannon(10, 3); err == nil {
+		t.Error("bad Cannon accepted")
+	}
+	if _, err := RunTwoPointFiveD(10, 3, 2); err == nil {
+		t.Error("bad 2.5D accepted")
+	}
+	if _, err := RunCAPS(bad, 64, 3, 1<<30); err == nil {
+		t.Error("bad CAPS P accepted")
+	}
+	if _, err := RankBalancedPartition(g, 0, PartitionContiguous, nil); err == nil {
+		t.Error("P=0 partition accepted")
+	}
+}
+
+func TestFacadeBoundEdgeCases(t *testing.T) {
+	alg := Strassen()
+	if SequentialLowerBound(alg, 0, 64) != 0 {
+		t.Error("n=0 bound")
+	}
+	if DFSUpperBound(alg, 4, 1<<20) != 48 {
+		t.Error("in-cache upper bound")
+	}
+	if ClassicalLowerBound(0, 0) != 0 {
+		t.Error("degenerate classical bound")
+	}
+	if ProofLowerBound(alg, 2, 1<<30) != 0 {
+		t.Error("out-of-regime proof bound")
+	}
+	if CrossoverN(Classical(2), 64) != 0 {
+		t.Error("classical crossover")
+	}
+}
