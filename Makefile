@@ -1,0 +1,25 @@
+# Tier-1 verify loop: static analysis, build+tests, and a race pass
+# over the concurrent verification engine.
+GO ?= go
+
+.PHONY: verify build test vet race bench-routing
+
+verify: vet test race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The routing package owns all the goroutine fan-out (parallel
+# Routing Theorem verification, lazy CSR index construction); run it
+# under the race detector on every verify.
+race:
+	$(GO) test -race ./internal/routing/...
+
+bench-routing:
+	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x .

@@ -505,6 +505,46 @@ func BenchmarkA7ParallelVerification(b *testing.B) {
 	})
 }
 
+// BenchmarkVerifyFullRoutingAdjacency isolates what the CSR adjacency
+// index buys the verification hot path: full (stride 1) edge-by-edge
+// adjacency checking of every pair path, answered either by the index
+// or by the seed's per-edge linear scan over freshly enumerated parent
+// slices.
+func BenchmarkVerifyFullRoutingAdjacency(b *testing.B) {
+	g, err := cdag.New(bilinear.Strassen(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.AdjacencySampleStride = 1
+	g.EnsureAdjacencyIndex() // pay the one-time build outside the timer
+	for _, tc := range []struct {
+		name   string
+		linear bool
+	}{
+		{"csr", false},
+		{"linear-scan", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			r.LinearAdjacency = tc.linear
+			var st routing.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = r.VerifyFullRouting()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.PathsPerSecond(), "paths/s")
+		})
+	}
+	r.LinearAdjacency = false
+	r.AdjacencySampleStride = 0
+}
+
 // BenchmarkA8ParallelMultiply compares the sequential and concurrent
 // fast multiplies on real arithmetic.
 func BenchmarkA8ParallelMultiply(b *testing.B) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	routecheck [-alg strassen] [-k 3] [-which full|chains|decoding]
+//	           [-workers 0] [-progress] [-adjstride 0]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
@@ -19,9 +21,12 @@ import (
 )
 
 var (
-	algName = flag.String("alg", "strassen", "algorithm name from the catalog")
-	k       = flag.Int("k", 3, "recursion depth of G_k")
-	which   = flag.String("which", "full", "routing: full (Theorem 2), chains (Lemma 3), decoding (Claim 1)")
+	algName   = flag.String("alg", "strassen", "algorithm name from the catalog")
+	k         = flag.Int("k", 3, "recursion depth of G_k")
+	which     = flag.String("which", "full", "routing: full (Theorem 2), chains (Lemma 3), decoding (Claim 1)")
+	workers   = flag.Int("workers", 0, "worker goroutines for the full routing (0 = GOMAXPROCS)")
+	progress  = flag.Bool("progress", false, "print per-worker progress while the full routing verifies")
+	adjStride = flag.Int64("adjstride", 0, "verify every Nth path edge-by-edge (0 = default 257, 1 = every path)")
 )
 
 func fail(err error) {
@@ -52,7 +57,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		st, err = r.VerifyFullRouting()
+		r.AdjacencySampleStride = *adjStride
+		if *progress {
+			r.Progress = progressPrinter()
+		}
+		st, err = r.VerifyFullRoutingParallel(*workers)
 		if err != nil {
 			fail(err)
 		}
@@ -86,6 +95,25 @@ func main() {
 	fmt.Printf("%s G_%d %s routing: %s\n", alg.Name, *k, *which, st)
 	fmt.Printf("VERIFIED: max vertex hits %d ≤ bound %d; max meta-vertex hits %d ≤ bound %d\n",
 		st.MaxVertexHits, st.Bound, st.MaxMetaHits, st.Bound)
+	if st.AdjacencyChecked > 0 {
+		fmt.Printf("adjacency verified edge-by-edge on %d paths\n", st.AdjacencyChecked)
+	}
+}
+
+// progressPrinter returns a concurrency-safe routing.Progress callback
+// printing one line per snapshot to stderr.
+func progressPrinter() func(routing.Progress) {
+	var mu sync.Mutex
+	return func(p routing.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		state := "…"
+		if p.Final {
+			state = "done"
+		}
+		fmt.Fprintf(os.Stderr, "worker %d/%d: %d/%d paths, peak vertex hits %d %s\n",
+			p.Worker+1, p.Workers, p.Done, p.Total, p.PeakVertexHits, state)
+	}
 }
 
 // histogram buckets vertex hit counts of the full routing by global rank.

@@ -124,6 +124,12 @@ type Graph struct {
 	// concurrent use.
 	repOnce          sync.Once
 	repA, repB, repP []int32
+
+	// Lazily built CSR adjacency index over parent edges (see csr.go);
+	// adjOnce makes initialization safe under concurrent use.
+	adjOnce   sync.Once
+	parentPtr []int64
+	parentNbr []V
 }
 
 // New builds G_r for the algorithm. It returns an error when r < 1 or

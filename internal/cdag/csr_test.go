@@ -1,0 +1,93 @@
+package cdag
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+)
+
+// TestAdjacencyIndexMatchesArithmetic cross-checks the CSR index
+// against the arithmetic edge enumeration it is built from: every
+// enumerated parent/child edge must be visible through HasEdge and
+// Adjacent, and random non-edges must stay invisible.
+func TestAdjacencyIndexMatchesArithmetic(t *testing.T) {
+	for _, tc := range []struct {
+		alg *bilinear.Algorithm
+		r   int
+	}{
+		{bilinear.Strassen(), 2},
+		{bilinear.Classical(2), 2},
+		{bilinear.DisconnectedFast(), 1},
+	} {
+		g, err := New(tc.alg, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := make(map[[2]V]bool)
+		var buf []Edge
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			buf = g.AppendParents(v, buf[:0])
+			for _, e := range buf {
+				edges[[2]V{e.To, v}] = true
+				if !g.HasEdge(e.To, v) {
+					t.Fatalf("%s r=%d: HasEdge(%s, %s) = false for an enumerated edge",
+						tc.alg.Name, tc.r, g.Label(e.To), g.Label(v))
+				}
+				if !g.Adjacent(e.To, v) || !g.Adjacent(v, e.To) {
+					t.Fatalf("%s r=%d: Adjacent misses edge %s -- %s",
+						tc.alg.Name, tc.r, g.Label(e.To), g.Label(v))
+				}
+			}
+		}
+		// Children must agree with the same index.
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			buf = g.AppendChildren(v, buf[:0])
+			for _, e := range buf {
+				if !g.HasEdge(v, e.To) {
+					t.Fatalf("%s r=%d: HasEdge misses child edge %s -> %s",
+						tc.alg.Name, tc.r, g.Label(v), g.Label(e.To))
+				}
+			}
+		}
+		// Random non-edges.
+		rng := rand.New(rand.NewSource(7))
+		n := V(g.NumVertices())
+		for trial := 0; trial < 200; trial++ {
+			u, v := V(rng.Intn(int(n))), V(rng.Intn(int(n)))
+			if edges[[2]V{u, v}] {
+				continue
+			}
+			if g.HasEdge(u, v) {
+				t.Fatalf("%s r=%d: HasEdge(%s, %s) = true for a non-edge",
+					tc.alg.Name, tc.r, g.Label(u), g.Label(v))
+			}
+			if !edges[[2]V{v, u}] && g.Adjacent(u, v) {
+				t.Fatalf("%s r=%d: Adjacent(%s, %s) = true for a non-edge",
+					tc.alg.Name, tc.r, g.Label(u), g.Label(v))
+			}
+		}
+	}
+}
+
+// TestAdjacencyIndexConcurrentInit exercises the lazy construction from
+// several goroutines at once (run with -race).
+func TestAdjacencyIndexConcurrentInit(t *testing.T) {
+	g, err := New(bilinear.Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := g.Product(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !g.HasEdge(g.ID(EncA, g.R, 0), prod) {
+				t.Error("product must have its rank-r combination as parent")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -46,8 +46,10 @@ func (p Policy) String() string {
 		return "MIN"
 	case LRU:
 		return "LRU"
-	default:
+	case FIFO:
 		return "FIFO"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
 	}
 }
 

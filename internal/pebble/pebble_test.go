@@ -411,3 +411,20 @@ func TestSimulatorDeterministic(t *testing.T) {
 		t.Fatalf("non-deterministic simulation: %+v vs %+v", r1, r2)
 	}
 }
+
+func TestPolicyString(t *testing.T) {
+	for _, tc := range []struct {
+		p    Policy
+		want string
+	}{
+		{MIN, "MIN"},
+		{LRU, "LRU"},
+		{FIFO, "FIFO"},
+		{Policy(42), "Policy(42)"},
+		{Policy(-1), "Policy(-1)"},
+	} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(tc.p), got, tc.want)
+		}
+	}
+}

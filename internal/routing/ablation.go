@@ -69,10 +69,10 @@ type MatchingComparison struct {
 	Alg          string
 	K            int
 	Bound        int64
-	HallMaxHits  int
+	HallMaxHits  int64
 	HallLoad     int
 	GreedyOK     bool // greedy stayed within the Theorem 2 bound
-	GreedyHits   int
+	GreedyHits   int64
 	GreedyLoad   int
 	GreedyFailed string // non-empty if the greedy routing itself errored
 }

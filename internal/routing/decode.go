@@ -11,6 +11,7 @@ package routing
 
 import (
 	"fmt"
+	"time"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
@@ -150,8 +151,9 @@ func (dr *DecodingRouter) AppendPath(t, o int64, buf []cdag.V) []cdag.V {
 // outputs of D_k and verifies connectivity of every path and the
 // Claim 1 hit bound |V(D₁)|·bᵏ per vertex.
 func (dr *DecodingRouter) VerifyClaim1() (Stats, error) {
+	start := time.Now()
 	g := dr.G
-	hits := make([]int32, g.NumVertices())
+	hits := make(hitVec, g.NumVertices())
 	st := Stats{Bound: int64(dr.a+dr.b) * dr.powB[dr.k]}
 	var buf []cdag.V
 	for t := int64(0); t < dr.powB[dr.k]; t++ {
@@ -185,13 +187,10 @@ func (dr *DecodingRouter) VerifyClaim1() (Stats, error) {
 			}
 		}
 	}
-	for _, h := range hits {
-		if int(h) > st.MaxVertexHits {
-			st.MaxVertexHits = int(h)
-		}
-	}
+	st.MaxVertexHits = hits.max()
 	st.MaxMetaHits = st.MaxVertexHits // no copying inside decoding (Lemma 2)
-	if int64(st.MaxVertexHits) > st.Bound {
+	st.Elapsed = time.Since(start)
+	if st.MaxVertexHits > st.Bound {
 		return st, fmt.Errorf("routing: %s D_%d: Claim 1 violated: vertex hit %d > %d",
 			g.Alg.Name, dr.k, st.MaxVertexHits, st.Bound)
 	}

@@ -1,116 +1,261 @@
 package routing
 
-// Concurrent verification: the routing checks are embarrassingly
-// parallel over the input index (each worker enumerates the paths of a
-// contiguous slice of inputs into worker-local hit arrays, merged at
-// the end), so the heavy Theorem 2 verification scales with cores.
-// Results are bit-identical to the sequential VerifyFullRouting.
+// The Routing Theorem verification engine. The check is embarrassingly
+// parallel over the input index: each worker enumerates the pair paths
+// of a contiguous slice of inputs (both sides) into worker-local int64
+// hit accumulators, merged at the end, so the heavy Theorem 2
+// verification scales with cores. VerifyFullRouting is literally the
+// one-worker instance of the same code path, which makes the parallel
+// and sequential results bit-identical by construction.
+//
+// Failure semantics: workers publish the sequential position of the
+// first error they hit through a shared atomic minimum. A worker whose
+// entire remaining scan lies after the published position stops —
+// cooperative cancellation — while the worker that owns the globally
+// earliest error always reaches it (nothing published can precede it,
+// by minimality). The merge then selects the error at the earliest
+// position, so VerifyFullRoutingParallel reports exactly the error
+// VerifyFullRouting reports, at any worker count.
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
 )
 
+const (
+	// defaultAdjacencyStride is the default sampling rate for full
+	// edge-by-edge path adjacency verification: every 257th path, the
+	// seed's spot-check rate (full adjacency of every chain is covered
+	// by VerifyGuaranteedRouting plus the junction structure; the
+	// sample guards the composition itself).
+	defaultAdjacencyStride = 257
+	// progressChunk is how many paths a worker enumerates between
+	// Progress snapshots.
+	progressChunk = 1 << 15
+)
+
 // VerifyFullRoutingParallel is VerifyFullRouting distributed over
-// workers goroutines (0 → GOMAXPROCS). It verifies the same properties
-// and returns the same statistics.
+// workers goroutines (0 → GOMAXPROCS, clamped to one input slice per
+// worker). It verifies the same properties and returns the same
+// statistics and, for corrupted routings, the same error.
 func (r *Router) VerifyFullRoutingParallel(workers int) (Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	return r.verifyFullRouting(workers)
+}
+
+// workerState is one worker's private accumulator.
+type workerState struct {
+	hits       hitVec
+	metaHits   map[cdag.V]int64
+	numPaths   int64
+	totalHits  int64
+	adjChecked int64
+	peak       int64 // running max of hits (for Progress)
+	err        error
+	errPos     int64
+}
+
+// fail records the worker's first error and publishes its sequential
+// position so workers scanning strictly later positions can stop.
+func (s *workerState) fail(pos int64, err error, earliestErr *atomic.Int64) {
+	s.err, s.errPos = err, pos
+	for {
+		cur := earliestErr.Load()
+		if pos >= cur || earliestErr.CompareAndSwap(cur, pos) {
+			return
+		}
+	}
+}
+
+// pairIndex is the position of (side, in, out) in sequential
+// enumeration order (ForEachPairPath): side-major, then input, then
+// output. With aK < 2³¹ (guaranteed by the int32 vertex-ID limit) the
+// product fits int64.
+func (r *Router) pairIndex(side bilinear.Side, in, out int64) int64 {
+	s := int64(0)
+	if side == bilinear.SideB {
+		s = 1
+	}
+	aK := r.powA[r.k]
+	return (s*aK+in)*aK + out
+}
+
+func (r *Router) adjStride() int64 {
+	if r.AdjacencySampleStride > 0 {
+		return r.AdjacencySampleStride
+	}
+	return defaultAdjacencyStride
+}
+
+// fullRoutingWorker verifies the pair paths of inputs [lo, hi) of both
+// sides: length, endpoints, sampled edge-by-edge adjacency, and hit
+// accumulation per vertex and per meta-vertex.
+func (r *Router) fullRoutingWorker(w, workers int, lo, hi int64, earliestErr *atomic.Int64, out *workerState) {
 	g := r.G
-	nV := g.NumVertices()
 	aK := r.powA[r.k]
 	wantLen := 3*(2*r.k+2) - 2
-
-	type workerOut struct {
-		hits     []int32
-		metaHits map[cdag.V]int64
-		numPaths int64
-		total    int64
-		err      error
+	stride := r.adjStride()
+	out.hits = make(hitVec, g.NumVertices())
+	out.metaHits = make(map[cdag.V]int64)
+	out.errPos = math.MaxInt64
+	total := 2 * (hi - lo) * aK
+	emit := func(final bool) {
+		if r.Progress == nil {
+			return
+		}
+		r.Progress(Progress{Worker: w, Workers: workers, Done: out.numPaths,
+			Total: total, PeakVertexHits: out.peak, Final: final})
 	}
-	outs := make([]workerOut, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			out := &outs[w]
-			out.hits = make([]int32, nV)
-			out.metaHits = make(map[cdag.V]int64)
-			lo := aK * int64(w) / int64(workers)
-			hi := aK * int64(w+1) / int64(workers)
-			var buf []cdag.V
-			roots := make(map[cdag.V]struct{}, 16)
-			for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
-				for in := lo; in < hi; in++ {
-					for outIdx := int64(0); outIdx < aK; outIdx++ {
-						buf = r.PairPath(side, in, outIdx, buf[:0])
-						out.numPaths++
-						out.total += int64(len(buf))
-						if len(buf) != wantLen {
-							out.err = fmt.Errorf("routing: pair path length %d, want %d", len(buf), wantLen)
+	defer emit(true)
+
+	var buf []cdag.V
+	roots := make(map[cdag.V]struct{}, 16)
+	for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
+		for in := lo; in < hi; in++ {
+			// Cooperative cancellation: an error published at a position
+			// before everything left in this worker's scan makes the
+			// rest of the scan irrelevant to the first-error selection.
+			if earliestErr.Load() < r.pairIndex(side, in, 0) {
+				return
+			}
+			for outIdx := int64(0); outIdx < aK; outIdx++ {
+				buf = r.PairPath(side, in, outIdx, buf[:0])
+				idx := r.pairIndex(side, in, outIdx)
+				out.numPaths++
+				out.totalHits += int64(len(buf))
+				if len(buf) != wantLen {
+					out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): length %d, want %d",
+						side, in, outIdx, len(buf), wantLen), earliestErr)
+					return
+				}
+				wantIn := g.InputA(in)
+				if side == bilinear.SideB {
+					wantIn = g.InputB(in)
+				}
+				if buf[0] != wantIn || buf[len(buf)-1] != g.Output(outIdx) {
+					out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): endpoints %s..%s",
+						side, in, outIdx, g.Label(buf[0]), g.Label(buf[len(buf)-1])), earliestErr)
+					return
+				}
+				if idx%stride == 0 {
+					out.adjChecked++
+					for i := 0; i+1 < len(buf); i++ {
+						if !r.adjacent(buf[i], buf[i+1]) {
+							out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): not connected at %s -- %s",
+								side, in, outIdx, g.Label(buf[i]), g.Label(buf[i+1])), earliestErr)
 							return
-						}
-						wantIn := g.InputA(in)
-						if side == bilinear.SideB {
-							wantIn = g.InputB(in)
-						}
-						if buf[0] != wantIn || buf[len(buf)-1] != g.Output(outIdx) {
-							out.err = fmt.Errorf("routing: pair path endpoints wrong (side %v in %d out %d)", side, in, outIdx)
-							return
-						}
-						clear(roots)
-						for _, v := range buf {
-							out.hits[v]++
-							roots[g.MetaRoot(v)] = struct{}{}
-						}
-						for root := range roots {
-							out.metaHits[root]++
 						}
 					}
 				}
+				clear(roots)
+				for _, v := range buf {
+					out.peak = max(out.peak, out.hits.bump(v))
+					roots[g.MetaRoot(v)] = struct{}{}
+				}
+				for root := range roots {
+					out.metaHits[root]++
+				}
+				if r.Progress != nil && out.numPaths%progressChunk == 0 {
+					emit(false)
+				}
 			}
-		}(w)
+		}
 	}
-	wg.Wait()
+}
 
-	st := Stats{Bound: 6 * aK}
-	hits := make([]int64, nV)
-	metaHits := make(map[cdag.V]int64)
-	for w := range outs {
-		if outs[w].err != nil {
-			return st, outs[w].err
+// verifyFullRouting is the engine behind VerifyFullRouting (workers=1)
+// and VerifyFullRoutingParallel.
+func (r *Router) verifyFullRouting(workers int) (Stats, error) {
+	start := time.Now()
+	aK := r.powA[r.k]
+	if int64(workers) > aK {
+		workers = int(aK) // at most one input slice per worker
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if !r.LinearAdjacency {
+		r.G.EnsureAdjacencyIndex() // build once, before the fan-out
+	}
+	outs := make([]workerState, workers)
+	var earliestErr atomic.Int64
+	earliestErr.Store(math.MaxInt64)
+	if workers == 1 {
+		r.fullRoutingWorker(0, 1, 0, aK, &earliestErr, &outs[0])
+	} else {
+		// Overflow-safe slice partition: |slice| ∈ {⌊aK/W⌋, ⌈aK/W⌉},
+		// never forming the product aK·w.
+		q, rem := aK/int64(workers), aK%int64(workers)
+		var wg sync.WaitGroup
+		lo := int64(0)
+		for w := 0; w < workers; w++ {
+			hi := lo + q
+			if int64(w) < rem {
+				hi++
+			}
+			wg.Add(1)
+			go func(w int, lo, hi int64) {
+				defer wg.Done()
+				r.fullRoutingWorker(w, workers, lo, hi, &earliestErr, &outs[w])
+			}(w, lo, hi)
+			lo = hi
 		}
-		st.NumPaths += outs[w].numPaths
-		st.TotalHits += outs[w].total
-		for v, h := range outs[w].hits {
-			hits[v] += int64(h)
+		wg.Wait()
+	}
+	return r.finalizeFullRouting(start, outs)
+}
+
+// finalizeFullRouting merges the worker accumulators, selects the
+// deterministic first error, and checks the 6aᵏ bounds.
+func (r *Router) finalizeFullRouting(start time.Time, outs []workerState) (Stats, error) {
+	g := r.G
+	st := Stats{Bound: 6 * r.powA[r.k]}
+	var firstErr error
+	firstPos := int64(math.MaxInt64)
+	for i := range outs {
+		o := &outs[i]
+		st.NumPaths += o.numPaths
+		st.TotalHits += o.totalHits
+		st.AdjacencyChecked += o.adjChecked
+		// Deterministic first-error selection: the earliest sequential
+		// position wins, so parallel and sequential runs agree.
+		if o.err != nil && o.errPos < firstPos {
+			firstPos, firstErr = o.errPos, o.err
 		}
-		for root, h := range outs[w].metaHits {
+	}
+	if firstErr != nil {
+		st.Elapsed = time.Since(start)
+		return st, firstErr
+	}
+	hits := outs[0].hits
+	metaHits := outs[0].metaHits
+	for i := 1; i < len(outs); i++ {
+		hits.merge(outs[i].hits)
+		for root, h := range outs[i].metaHits {
 			metaHits[root] += h
 		}
 	}
-	for _, h := range hits {
-		if int(h) > st.MaxVertexHits {
-			st.MaxVertexHits = int(h)
-		}
-	}
+	st.MaxVertexHits = hits.max()
 	for _, h := range metaHits {
-		if int(h) > st.MaxMetaHits {
-			st.MaxMetaHits = int(h)
+		if h > st.MaxMetaHits {
+			st.MaxMetaHits = h
 		}
 	}
-	if int64(st.MaxVertexHits) > st.Bound {
+	st.Elapsed = time.Since(start)
+	if st.MaxVertexHits > st.Bound {
 		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: vertex hit %d > 6aᵏ = %d",
 			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
 	}
-	if int64(st.MaxMetaHits) > st.Bound {
+	if st.MaxMetaHits > st.Bound {
 		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: meta-vertex hit %d > 6aᵏ = %d",
 			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
 	}

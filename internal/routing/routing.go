@@ -173,6 +173,21 @@ type Router struct {
 	// BM is the base matching the chains are lifted from.
 	BM *BaseMatching
 
+	// AdjacencySampleStride selects which pair paths the full-routing
+	// verifiers check edge by edge against G's adjacency: every
+	// stride-th path in sequential enumeration order, so sequential and
+	// parallel runs check the same sample. 0 means the default stride
+	// (257); 1 verifies the adjacency of every path.
+	AdjacencySampleStride int64
+	// LinearAdjacency disables the CSR adjacency index and answers
+	// adjacency checks with the legacy per-edge linear scan. It exists
+	// so benchmarks can measure the index against the baseline.
+	LinearAdjacency bool
+	// Progress, when non-nil, receives periodic Progress snapshots from
+	// VerifyFullRouting and VerifyFullRoutingParallel. It is called
+	// concurrently from all workers and must be safe for concurrent use.
+	Progress func(Progress)
+
 	k    int
 	n0   int
 	a, b int64

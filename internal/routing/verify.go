@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"time"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
@@ -15,22 +16,73 @@ type Stats struct {
 	TotalHits int64
 	// MaxVertexHits is the largest number of times any single vertex is
 	// used collectively by the routing (the m of an m-routing).
-	MaxVertexHits int
+	MaxVertexHits int64
 	// MaxMetaHits is the analogue over meta-vertices (all vertices
 	// carrying the same value).
-	MaxMetaHits int
+	MaxMetaHits int64
 	// Bound is the paper's claimed bound for this routing.
 	Bound int64
+	// AdjacencyChecked is the number of paths whose every consecutive
+	// pair was verified adjacent in G (see Router.AdjacencySampleStride).
+	AdjacencyChecked int64
+	// Elapsed is the wall time of the verification pass. It is
+	// observability, not part of the verified claim: two runs over the
+	// same routing agree on every other field but not on Elapsed, so
+	// equivalence comparisons must ignore (or zero) it.
+	Elapsed time.Duration
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("paths=%d maxVertexHits=%d maxMetaHits=%d bound=%d",
+	out := fmt.Sprintf("paths=%d maxVertexHits=%d maxMetaHits=%d bound=%d",
 		s.NumPaths, s.MaxVertexHits, s.MaxMetaHits, s.Bound)
+	if s.Elapsed > 0 {
+		out += fmt.Sprintf(" (%.3gs, %.3g paths/s)", s.Elapsed.Seconds(), s.PathsPerSecond())
+	}
+	return out
 }
 
-// checkAdjacent verifies that consecutive path vertices are joined by an
-// edge of G in either direction (routings ignore edge direction).
+// PathsPerSecond returns the verification throughput, or 0 when no
+// timing was recorded.
+func (s Stats) PathsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.NumPaths) / s.Elapsed.Seconds()
+}
+
+// Progress is a periodic observability snapshot from a running
+// VerifyFullRouting / VerifyFullRoutingParallel, delivered to
+// Router.Progress. Snapshots arrive concurrently from several workers;
+// the callback must be safe for concurrent use.
+type Progress struct {
+	// Worker identifies the reporting worker in [0, Workers).
+	Worker int
+	// Workers is the total worker count of this verification.
+	Workers int
+	// Done is the number of pair paths this worker has enumerated.
+	Done int64
+	// Total is the number of pair paths assigned to this worker.
+	Total int64
+	// PeakVertexHits is the largest per-vertex hit count in this
+	// worker's local accumulator so far (the global maximum is the
+	// final Stats.MaxVertexHits, available only after the merge).
+	PeakVertexHits int64
+	// Final marks the worker's last snapshot.
+	Final bool
+}
+
+// checkAdjacent verifies that consecutive path vertices are joined by
+// an edge of G in either direction (routings ignore edge direction),
+// through the graph's CSR adjacency index.
 func checkAdjacent(g *cdag.Graph, u, v cdag.V) bool {
+	return g.Adjacent(u, v)
+}
+
+// checkAdjacentScan is the seed implementation of checkAdjacent: a
+// per-edge linear scan over freshly enumerated parent slices. Kept only
+// as the baseline Router.LinearAdjacency selects, so benchmarks can
+// measure what the CSR index buys.
+func checkAdjacentScan(g *cdag.Graph, u, v cdag.V) bool {
 	for _, e := range g.Parents(v) {
 		if e.To == u {
 			return true
@@ -44,18 +96,20 @@ func checkAdjacent(g *cdag.Graph, u, v cdag.V) bool {
 	return false
 }
 
+// adjacent dispatches between the CSR index and the legacy scan.
+func (r *Router) adjacent(u, v cdag.V) bool {
+	if r.LinearAdjacency {
+		return checkAdjacentScan(r.G, u, v)
+	}
+	return checkAdjacent(r.G, u, v)
+}
+
 // checkChain verifies that the path is a chain: each vertex the parent
-// of the next.
+// of the next (chains are directed, unlike the undirected pair-path
+// adjacency above).
 func checkChain(g *cdag.Graph, path []cdag.V) error {
 	for i := 0; i+1 < len(path); i++ {
-		found := false
-		for _, e := range g.Parents(path[i+1]) {
-			if e.To == path[i] {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if !g.HasEdge(path[i], path[i+1]) {
 			return fmt.Errorf("routing: not a chain: no edge %s -> %s",
 				g.Label(path[i]), g.Label(path[i+1]))
 		}
@@ -68,8 +122,9 @@ func checkChain(g *cdag.Graph, path []cdag.V) error {
 // consists of chains, that each chain connects its dependency's input to
 // its output, and that no vertex is hit more than 2n₀ᵏ times.
 func (r *Router) VerifyGuaranteedRouting() (Stats, error) {
+	start := time.Now()
 	g := r.G
-	hits := make([]int32, g.NumVertices())
+	hits := make(hitVec, g.NumVertices())
 	st := Stats{Bound: 2 * r.powN[r.k]}
 	var firstErr error
 	r.ForEachGuaranteedChain(func(side bilinear.Side, in, out int64, chain []cdag.V) {
@@ -96,18 +151,15 @@ func (r *Router) VerifyGuaranteedRouting() (Stats, error) {
 			return
 		}
 		for _, v := range chain {
-			hits[v]++
+			hits.bump(v)
 		}
 	})
+	st.Elapsed = time.Since(start)
 	if firstErr != nil {
 		return st, firstErr
 	}
-	for _, h := range hits {
-		if int(h) > st.MaxVertexHits {
-			st.MaxVertexHits = int(h)
-		}
-	}
-	if int64(st.MaxVertexHits) > st.Bound {
+	st.MaxVertexHits = hits.max()
+	if st.MaxVertexHits > st.Bound {
 		return st, fmt.Errorf("routing: %s G_%d: Lemma 3 violated: vertex hit %d > 2n₀ᵏ = %d",
 			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
 	}
@@ -117,97 +169,12 @@ func (r *Router) VerifyGuaranteedRouting() (Stats, error) {
 // VerifyFullRouting enumerates the Routing Theorem routing (a path for
 // every input–output pair of G_k) and verifies path validity, the
 // per-vertex hit bound 6aᵏ, and the per-meta-vertex hit bound 6aᵏ.
+// Every AdjacencySampleStride-th path is additionally verified edge by
+// edge against G's adjacency. It is the one-worker instance of
+// VerifyFullRoutingParallel and returns bit-identical Stats (Elapsed
+// aside) and identical errors.
 func (r *Router) VerifyFullRouting() (Stats, error) {
-	g := r.G
-	nV := g.NumVertices()
-	hits := make([]int32, nV)
-	st := Stats{Bound: 6 * r.powA[r.k]}
-	var firstErr error
-	wantLen := 3*(2*r.k+2) - 2
-	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
-		if firstErr != nil {
-			return
-		}
-		st.NumPaths++
-		st.TotalHits += int64(len(path))
-		if len(path) != wantLen {
-			firstErr = fmt.Errorf("routing: pair path length %d, want %d", len(path), wantLen)
-			return
-		}
-		wantIn := g.InputA(in)
-		if side == bilinear.SideB {
-			wantIn = g.InputB(in)
-		}
-		if path[0] != wantIn || path[len(path)-1] != g.Output(out) {
-			firstErr = fmt.Errorf("routing: pair path endpoints %s..%s",
-				g.Label(path[0]), g.Label(path[len(path)-1]))
-			return
-		}
-		for _, v := range path {
-			hits[v]++
-		}
-	})
-	if firstErr != nil {
-		return st, firstErr
-	}
-
-	// Spot-check adjacency on a sample of paths (full adjacency of every
-	// path is covered by chain checks in VerifyGuaranteedRouting plus
-	// the junction structure; this guards the composition itself).
-	sample := int64(0)
-	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
-		if firstErr != nil || sample%257 != 0 {
-			sample++
-			return
-		}
-		sample++
-		for i := 0; i+1 < len(path); i++ {
-			if !checkAdjacent(g, path[i], path[i+1]) {
-				firstErr = fmt.Errorf("routing: pair path not connected at %s -- %s",
-					g.Label(path[i]), g.Label(path[i+1]))
-				return
-			}
-		}
-	})
-	if firstErr != nil {
-		return st, firstErr
-	}
-
-	// Per-vertex bound.
-	for _, h := range hits {
-		if int(h) > st.MaxVertexHits {
-			st.MaxVertexHits = int(h)
-		}
-	}
-	// Per-meta-vertex bound. The theorem counts how many *paths* hit a
-	// meta-vertex (each boundary-crossing path is charged once): within
-	// one path, a meta-vertex hit several times in a row (a chain
-	// climbing through its own copies) still counts once.
-	metaHits := make(map[cdag.V]int64)
-	roots := make(map[cdag.V]struct{}, 8)
-	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
-		clear(roots)
-		for _, v := range path {
-			roots[g.MetaRoot(v)] = struct{}{}
-		}
-		for root := range roots {
-			metaHits[root]++
-		}
-	})
-	for _, h := range metaHits {
-		if int(h) > st.MaxMetaHits {
-			st.MaxMetaHits = int(h)
-		}
-	}
-	if int64(st.MaxVertexHits) > st.Bound {
-		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: vertex hit %d > 6aᵏ = %d",
-			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
-	}
-	if int64(st.MaxMetaHits) > st.Bound {
-		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: meta-vertex hit %d > 6aᵏ = %d",
-			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
-	}
-	return st, nil
+	return r.verifyFullRouting(1)
 }
 
 // VerifyChainUsage checks the exact counting claim inside Lemma 4's
@@ -293,6 +260,7 @@ func (r *Router) VerifyChainUsage() error {
 // exactly what the conjecture predicts. The error reports a violation;
 // Stats.MaxMetaHits carries the per-class maximum (counted per path).
 func (r *Router) VerifyValueClassRouting() (Stats, error) {
+	start := time.Now()
 	g := r.G
 	st := Stats{Bound: 6 * r.powA[r.k]}
 	classHits := make(map[cdag.V]int64)
@@ -319,12 +287,13 @@ func (r *Router) VerifyValueClassRouting() (Stats, error) {
 		}
 	})
 	for _, h := range classHits {
-		if int(h) > st.MaxMetaHits {
-			st.MaxMetaHits = int(h)
+		if h > st.MaxMetaHits {
+			st.MaxMetaHits = h
 		}
 	}
 	st.MaxVertexHits = st.MaxMetaHits
-	if int64(st.MaxMetaHits) > st.Bound {
+	st.Elapsed = time.Since(start)
+	if st.MaxMetaHits > st.Bound {
 		return st, fmt.Errorf(
 			"routing: %s G_%d: Section 8 check: value class hit by %d paths > 6aᵏ = %d",
 			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)

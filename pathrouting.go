@@ -58,6 +58,9 @@ type (
 	Router = routing.Router
 	// RoutingStats reports verified hit counts of a routing.
 	RoutingStats = routing.Stats
+	// RoutingProgress is a periodic snapshot delivered to
+	// Router.Progress by the full-routing verifiers.
+	RoutingProgress = routing.Progress
 	// Simulator is the red-blue pebble-game machine.
 	Simulator = pebble.Simulator
 	// IOResult reports measured reads/writes of a simulation.
