@@ -1,8 +1,9 @@
 # Tier-1 verify loop: static analysis, build+tests, and a race pass
 # over the concurrent verification engine.
 GO ?= go
+RESUME_DIR ?= .verify-resume
 
-.PHONY: verify build test vet race bench-routing
+.PHONY: verify build test vet race bench-routing bench verify-resume
 
 verify: vet test race
 
@@ -23,3 +24,34 @@ race:
 
 bench-routing:
 	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x .
+
+# Machine-readable routing benchmark results (paths/s next to ns/op),
+# via the stdlib-only converter in cmd/benchjson — no jq required.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x . > bench_routing.out
+	$(GO) run ./cmd/benchjson -o BENCH_routing.json < bench_routing.out
+	@rm -f bench_routing.out
+
+# End-to-end checkpoint/resume acceptance check: pause a Strassen k=4
+# verification after 3 of 8 shards, resume it at a different worker
+# count, and require the final stats line to be byte-identical to an
+# uninterrupted run. Exit code 3 is the verifier's "paused, rerun with
+# -resume" signal.
+verify-resume:
+	@rm -rf $(RESUME_DIR)
+	@mkdir -p $(RESUME_DIR)
+	$(GO) build -o $(RESUME_DIR)/routecheck ./cmd/routecheck
+	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 3 -shardrows 64 -maxshards 3 \
+		-checkpoint $(RESUME_DIR)/k4.ckpt -journal $(RESUME_DIR)/runs.jsonl \
+		> $(RESUME_DIR)/paused.out; st=$$?; \
+		if [ $$st -ne 3 ]; then echo "expected pause exit 3, got $$st"; exit 1; fi
+	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 5 \
+		-checkpoint $(RESUME_DIR)/k4.ckpt -resume -journal $(RESUME_DIR)/runs.jsonl \
+		> $(RESUME_DIR)/resumed.out
+	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 2 > $(RESUME_DIR)/fresh.out
+	grep '^stats:' $(RESUME_DIR)/resumed.out > $(RESUME_DIR)/resumed.stats
+	grep '^stats:' $(RESUME_DIR)/fresh.out > $(RESUME_DIR)/fresh.stats
+	cmp $(RESUME_DIR)/resumed.stats $(RESUME_DIR)/fresh.stats
+	$(RESUME_DIR)/routecheck -summarize $(RESUME_DIR)/runs.jsonl
+	@rm -rf $(RESUME_DIR)
+	@echo "verify-resume: PASS — resumed stats byte-identical to an uninterrupted run"

@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a machine-readable JSON document, so `make bench` can emit
+// BENCH_routing.json without depending on jq or benchstat being
+// installed. Every value/unit pair on a benchmark line becomes a
+// metric, so custom b.ReportMetric units (paths/s, io/bound, ...) come
+// through next to ns/op.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 5x . | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...` line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	// Env holds the run header go test prints (goos, goarch, pkg, cpu).
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+var out = flag.String("o", "", "output file (default: stdout)")
+
+func main() {
+	flag.Parse()
+	doc := Doc{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bm := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			bm.Metrics[f[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, bm)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines on stdin — did the bench run fail?"))
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	paperrepro [-experiment all|E1|...|E12] [-quick] [-dotdir DIR] [-progress]
+//	           [-journal run.jsonl] [-checkpointdir DIR] [-resume]
+//
+// With -checkpointdir, the heavy E3 routing verifications run through
+// the sharded checkpoint engine, persisting per-case checkpoint files
+// there; re-running with -resume skips completed shards. -journal
+// appends structured JSONL records (see internal/runlog) for the E3
+// runs, summarizable with `routecheck -summarize`.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"pathrouting/internal/parallel"
 	"pathrouting/internal/pebble"
 	"pathrouting/internal/routing"
+	"pathrouting/internal/runlog"
 	"pathrouting/internal/schedule"
 	"pathrouting/internal/viz"
 )
@@ -41,7 +49,32 @@ var (
 	dotDir     = flag.String("dotdir", "", "directory to write E12 DOT figures (default: print names only)")
 	csvDir     = flag.String("csvdir", "", "directory to also write machine-readable CSV series")
 	progress   = flag.Bool("progress", false, "print per-worker progress (stderr) during the heavy routing verifications (E3)")
+	journal    = flag.String("journal", "", "append JSONL run records for the E3 verifications to this file")
+	ckptDir    = flag.String("checkpointdir", "", "run E3 verifications through per-case checkpoint files in this directory")
+	resume     = flag.Bool("resume", false, "with -checkpointdir: skip shards already completed in existing checkpoints")
 )
+
+// journalWriter is the shared (possibly nil — nil is a valid no-op
+// sink) run journal, opened lazily on first use.
+var (
+	journalW    *runlog.Writer
+	journalOnce sync.Once
+)
+
+func journalWriter() *runlog.Writer {
+	journalOnce.Do(func() {
+		if *journal == "" {
+			return
+		}
+		w, err := runlog.Open(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			return
+		}
+		journalW = w
+	})
+	return journalW
+}
 
 // progressPrinter returns a concurrency-safe routing.Progress callback,
 // or nil when -progress is unset.
@@ -98,6 +131,7 @@ func csvOut(name string, header []string, rows [][]string) {
 
 func main() {
 	flag.Parse()
+	defer func() { journalW.Close() }() // nil-safe; only non-nil once e3 opened it
 	runs := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
@@ -268,7 +302,37 @@ func e3() {
 		g := mustGraph(c.alg, c.k)
 		r := must(routing.NewRouter(g))
 		r.Progress = progressPrinter(fmt.Sprintf("E3 %s k=%d", c.alg.Name, c.k))
-		st := must(r.VerifyFullRoutingParallel(0))
+		jw := journalWriter()
+		emit := func(rec runlog.Record) {
+			rec.Tool, rec.Alg, rec.K = "paperrepro", c.alg.Name, c.k
+			if err := jw.Emit(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "journal:", err)
+			}
+		}
+		emit(runlog.Record{Event: runlog.EventRunStart, Resumed: *resume})
+		var st routing.Stats
+		var err error
+		if *ckptDir != "" {
+			st, err = r.VerifyFullRoutingCheckpointed(0, routing.CheckpointConfig{
+				Path:   filepath.Join(*ckptDir, fmt.Sprintf("e3-%s-k%d.ckpt", c.alg.Name, c.k)),
+				Resume: *resume,
+				OnShard: func(d routing.ShardDone) {
+					emit(runlog.Record{Event: runlog.EventShardDone,
+						Shard: d.Shard, ShardsDone: d.Done, ShardsTotal: d.Total, ShardPaths: d.Paths})
+				},
+			})
+		} else {
+			st, err = r.VerifyFullRoutingParallel(0)
+		}
+		if err != nil {
+			emit(runlog.Record{Event: runlog.EventViolation, Error: err.Error()})
+		}
+		st = must(st, err)
+		rec := runlog.Record{Event: runlog.EventFinal, Paths: st.NumPaths,
+			TotalHits: st.TotalHits, MaxVertexHits: st.MaxVertexHits, MaxMetaHits: st.MaxMetaHits,
+			Bound: st.Bound, AdjChecked: st.AdjacencyChecked,
+			ElapsedSec: st.Elapsed.Seconds(), PathsPerSec: st.PathsPerSecond(), Resumed: *resume}
+		emit(rec)
 		fmt.Printf("%-16s %-3d %-10d %-10d %-10d %-12d %-8.3f %8.3g paths/s\n",
 			c.alg.Name, c.k, st.NumPaths, st.MaxVertexHits, st.MaxMetaHits, st.Bound,
 			float64(st.MaxVertexHits)/float64(st.Bound), st.PathsPerSecond())
@@ -368,7 +432,7 @@ func e7() {
 	}{
 		{"dfs", schedule.RecursiveDFS(g)},
 		{"rank", schedule.RankByRank(g)},
-		{"random", schedule.RandomTopological(g, rng)},
+		{"random", must(schedule.RandomTopological(g, rng))},
 	} {
 		cert, err := core.Certify(g, sc.sched, core.Options{K: 2, RelaxedTarget: 8, DeepSegments: 2})
 		if err != nil {

@@ -60,7 +60,10 @@ func main() {
 	case "rank":
 		sched = schedule.RankByRank(g)
 	case "random":
-		sched = schedule.RandomTopological(g, rand.New(rand.NewSource(*seed)))
+		sched, err = schedule.RandomTopological(g, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fail(err)
+		}
 	default:
 		fail(fmt.Errorf("unknown schedule %q", *schedKind))
 	}

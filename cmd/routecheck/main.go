@@ -6,9 +6,20 @@
 //
 //	routecheck [-alg strassen] [-k 3] [-which full|chains|decoding]
 //	           [-workers 0] [-progress] [-adjstride 0]
+//	           [-checkpoint run.ckpt] [-resume] [-shardrows 0] [-maxshards 0]
+//	           [-journal run.jsonl]
+//	routecheck -summarize run.jsonl
+//
+// With -checkpoint, the full routing persists completed shards to the
+// given file; a killed run restarted with -resume skips them and
+// reports final stats bit-identical to an uninterrupted run. -maxshards
+// stops after N new shards (exit code 3) to time-box long runs.
+// -journal appends structured JSONL records (see internal/runlog);
+// -summarize aggregates such a journal and exits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +29,27 @@ import (
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
 	"pathrouting/internal/routing"
+	"pathrouting/internal/runlog"
 )
 
 var (
-	algName   = flag.String("alg", "strassen", "algorithm name from the catalog")
-	k         = flag.Int("k", 3, "recursion depth of G_k")
-	which     = flag.String("which", "full", "routing: full (Theorem 2), chains (Lemma 3), decoding (Claim 1)")
-	workers   = flag.Int("workers", 0, "worker goroutines for the full routing (0 = GOMAXPROCS)")
-	progress  = flag.Bool("progress", false, "print per-worker progress while the full routing verifies")
-	adjStride = flag.Int64("adjstride", 0, "verify every Nth path edge-by-edge (0 = default 257, 1 = every path)")
+	algName    = flag.String("alg", "strassen", "algorithm name from the catalog")
+	k          = flag.Int("k", 3, "recursion depth of G_k")
+	which      = flag.String("which", "full", "routing: full (Theorem 2), chains (Lemma 3), decoding (Claim 1)")
+	workers    = flag.Int("workers", 0, "worker goroutines for the full routing (0 = GOMAXPROCS)")
+	progress   = flag.Bool("progress", false, "print per-worker progress while the full routing verifies")
+	adjStride  = flag.Int64("adjstride", 0, "verify every Nth path edge-by-edge (0 = default 257, 1 = every path)")
+	checkpoint = flag.String("checkpoint", "", "persist completed shards of the full routing to this file")
+	resume     = flag.Bool("resume", false, "with -checkpoint: skip shards already completed in the checkpoint file")
+	shardRows  = flag.Int64("shardrows", 0, "with -checkpoint: enumeration rows per shard (0 = ~1M paths per shard)")
+	maxShards  = flag.Int64("maxshards", 0, "with -checkpoint: stop after N new shards, exit 3 (0 = run to completion)")
+	journal    = flag.String("journal", "", "append JSONL run records to this file")
+	summarize  = flag.String("summarize", "", "summarize a JSONL journal and exit")
 )
+
+// exitPaused signals an intentionally incomplete checkpointed run,
+// distinguishable from verification failure (1) in scripts.
+const exitPaused = 3
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
@@ -36,6 +58,14 @@ func fail(err error) {
 
 func main() {
 	flag.Parse()
+	if *summarize != "" {
+		s, err := runlog.SummarizeFile(*summarize)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Format())
+		return
+	}
 	var alg *bilinear.Algorithm
 	for _, a := range bilinear.All() {
 		if a.Name == *algName {
@@ -50,6 +80,22 @@ func main() {
 		fail(err)
 	}
 
+	var jw *runlog.Writer // nil journal is a no-op sink
+	if *journal != "" {
+		jw, err = runlog.Open(*journal)
+		if err != nil {
+			fail(err)
+		}
+		defer jw.Close()
+	}
+	base := runlog.Record{Tool: "routecheck", Alg: alg.Name, K: *k, Workers: *workers}
+	emit := func(rec runlog.Record) {
+		rec.Tool, rec.Alg, rec.K, rec.Workers = base.Tool, base.Alg, base.K, base.Workers
+		if err := jw.Emit(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+		}
+	}
+
 	var st routing.Stats
 	switch *which {
 	case "full":
@@ -61,10 +107,17 @@ func main() {
 		if *progress {
 			r.Progress = progressPrinter()
 		}
+		if *checkpoint != "" {
+			runCheckpointed(r, alg, emit)
+			return
+		}
+		emit(runlog.Record{Event: runlog.EventRunStart})
 		st, err = r.VerifyFullRoutingParallel(*workers)
 		if err != nil {
+			emit(runlog.Record{Event: runlog.EventViolation, Error: err.Error()})
 			fail(err)
 		}
+		emit(finalRecord(st, false, false))
 		if err := r.VerifyChainUsage(); err != nil {
 			fail(err)
 		}
@@ -93,11 +146,78 @@ func main() {
 		fail(fmt.Errorf("unknown routing %q", *which))
 	}
 	fmt.Printf("%s G_%d %s routing: %s\n", alg.Name, *k, *which, st)
+	printStatsLine(st)
 	fmt.Printf("VERIFIED: max vertex hits %d ≤ bound %d; max meta-vertex hits %d ≤ bound %d\n",
 		st.MaxVertexHits, st.Bound, st.MaxMetaHits, st.Bound)
 	if st.AdjacencyChecked > 0 {
 		fmt.Printf("adjacency verified edge-by-edge on %d paths\n", st.AdjacencyChecked)
 	}
+}
+
+// runCheckpointed drives the sharded crash-safe verifier and exits.
+// The hit histogram is skipped here: it re-enumerates every path
+// sequentially, which defeats the point of resumable deep-k runs.
+func runCheckpointed(r *routing.Router, alg *bilinear.Algorithm, emit func(runlog.Record)) {
+	emit(runlog.Record{Event: runlog.EventRunStart, Resumed: *resume})
+	st, err := r.VerifyFullRoutingCheckpointed(*workers, routing.CheckpointConfig{
+		Path:      *checkpoint,
+		ShardRows: *shardRows,
+		MaxShards: *maxShards,
+		Resume:    *resume,
+		OnShard: func(d routing.ShardDone) {
+			emit(runlog.Record{Event: runlog.EventShardDone,
+				Shard: d.Shard, ShardsDone: d.Done, ShardsTotal: d.Total, ShardPaths: d.Paths})
+			if *progress {
+				fmt.Fprintf(os.Stderr, "shard %d done (%d paths), %d/%d complete\n",
+					d.Shard, d.Paths, d.Done, d.Total)
+			}
+		},
+	})
+	switch {
+	case err == nil:
+		emit(finalRecord(st, *resume, false))
+		fmt.Printf("%s G_%d full routing: %s\n", alg.Name, *k, st)
+		printStatsLine(st)
+		fmt.Printf("VERIFIED: max vertex hits %d ≤ bound %d; max meta-vertex hits %d ≤ bound %d\n",
+			st.MaxVertexHits, st.Bound, st.MaxMetaHits, st.Bound)
+	case errors.Is(err, routing.ErrPaused):
+		emit(finalRecord(st, *resume, true))
+		fmt.Printf("PAUSED: %v\n", err)
+		fmt.Printf("rerun with -resume to continue; partial stats: %s\n", st)
+		os.Exit(exitPaused)
+	default:
+		emit(runlog.Record{Event: runlog.EventViolation, Error: err.Error()})
+		fail(err)
+	}
+}
+
+// printStatsLine prints the deterministic stats fields on one line —
+// everything in Stats except wall time — so interrupted+resumed and
+// uninterrupted runs can be compared byte-for-byte (make verify-resume
+// does exactly that).
+func printStatsLine(st routing.Stats) {
+	fmt.Printf("stats: paths=%d totalHits=%d maxVertexHits=%d maxMetaHits=%d bound=%d adjChecked=%d\n",
+		st.NumPaths, st.TotalHits, st.MaxVertexHits, st.MaxMetaHits, st.Bound, st.AdjacencyChecked)
+}
+
+// finalRecord converts Stats to the journal's final-event record.
+func finalRecord(st routing.Stats, resumed, paused bool) runlog.Record {
+	rec := runlog.Record{
+		Event:         runlog.EventFinal,
+		Paths:         st.NumPaths,
+		TotalHits:     st.TotalHits,
+		MaxVertexHits: st.MaxVertexHits,
+		MaxMetaHits:   st.MaxMetaHits,
+		Bound:         st.Bound,
+		AdjChecked:    st.AdjacencyChecked,
+		ElapsedSec:    st.Elapsed.Seconds(),
+		Resumed:       resumed,
+		Paused:        paused,
+	}
+	if st.Elapsed > 0 {
+		rec.PathsPerSec = float64(st.NumPaths) / st.Elapsed.Seconds()
+	}
+	return rec
 }
 
 // progressPrinter returns a concurrency-safe routing.Progress callback

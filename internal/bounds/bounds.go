@@ -9,12 +9,47 @@
 package bounds
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/rat"
 )
+
+// ErrOverflow is returned by the Checked bound evaluators when the
+// exact value does not fit int64. The unchecked variants saturate to
+// math.MaxInt64 instead (a sentinel, never a silently wrapped value).
+var ErrOverflow = errors.New("bounds: value overflows int64")
+
+// mulChecked multiplies nonnegative int64s, reporting overflow instead
+// of wrapping.
+func mulChecked(a, b int64) (int64, bool) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(lo), true
+}
+
+// addChecked adds nonnegative int64s, reporting overflow.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	return s, s >= 0
+}
+
+// powChecked returns base^e exactly, or ErrOverflow.
+func powChecked(base, e int64) (int64, error) {
+	p := int64(1)
+	for i := int64(0); i < e; i++ {
+		var ok bool
+		if p, ok = mulChecked(p, base); !ok {
+			return 0, fmt.Errorf("%w: %d^%d", ErrOverflow, base, e)
+		}
+	}
+	return p, nil
+}
 
 // Theorem1Sequential returns the Θ-form sequential I/O lower bound of
 // Theorem 1, (n/√M)^ω₀·M, for an algorithm of exponent ω₀ applied to
@@ -68,26 +103,90 @@ func HongKungClassical(n, m float64) float64 {
 //
 // or 0 when the regime condition k ≤ r−2 fails (M too large relative to
 // n — the bound is vacuous there, exactly as in the paper).
+// It saturates to math.MaxInt64 when the exact value overflows int64
+// (the Checked variant reports the overflow as an error instead); the
+// seed computed the product with wrapping multiplication and silently
+// reported garbage at large r.
 func ProofSequential(alg *bilinear.Algorithm, r int, m int64) int64 {
-	a, b := int64(alg.A()), int64(alg.B())
-	k := ceilLog(a, 72*m)
-	if k > int64(r)-2 {
-		return 0
+	v, err := ProofSequentialChecked(alg, r, m)
+	if err != nil {
+		return math.MaxInt64
 	}
-	counted := 3 * pow(a, k) * pow(b, int64(r)-k) / (b * b)
-	return counted / (36 * m) * m
+	return v
+}
+
+// ProofSequentialChecked is ProofSequential with overflow-checked
+// arithmetic: it returns ErrOverflow (wrapped) when the exact bound
+// does not fit int64.
+func ProofSequentialChecked(alg *bilinear.Algorithm, r int, m int64) (int64, error) {
+	a, b := int64(alg.A()), int64(alg.B())
+	lim, ok := mulChecked(72, m)
+	if !ok {
+		return 0, fmt.Errorf("%w: 72·M with M=%d", ErrOverflow, m)
+	}
+	k := ceilLog(a, lim)
+	if k > int64(r)-2 {
+		return 0, nil
+	}
+	// 3·aᵏ·b^(r−k)/b² = 3·aᵏ·b^(r−k−2) exactly, since k ≤ r−2 here;
+	// folding the division in first keeps the intermediate as small as
+	// the result.
+	aK, err := powChecked(a, k)
+	if err != nil {
+		return 0, err
+	}
+	bRK, err := powChecked(b, int64(r)-k-2)
+	if err != nil {
+		return 0, err
+	}
+	counted, ok := mulChecked(aK, bRK)
+	if ok {
+		counted, ok = mulChecked(3, counted)
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: 3·%d^%d·%d^%d", ErrOverflow, a, k, b, int64(r)-k-2)
+	}
+	return counted / (36 * m) * m, nil // 36·m ≤ 72·m, already checked
 }
 
 // ProofSection5Strassen returns the exact Section 5 bound for
 // Strassen's algorithm: ⌊4ᵏ·7^(r−k)/66M⌋·M with k = ⌈log₄ 132M⌉, or 0
 // out of regime.
+// It saturates to math.MaxInt64 on overflow; see
+// ProofSection5StrassenChecked for the error-reporting variant.
 func ProofSection5Strassen(r int, m int64) int64 {
-	k := ceilLog(4, 132*m)
-	if k > int64(r) {
-		return 0
+	v, err := ProofSection5StrassenChecked(r, m)
+	if err != nil {
+		return math.MaxInt64
 	}
-	counted := pow(4, k) * pow(7, int64(r)-k)
-	return counted / (66 * m) * m
+	return v
+}
+
+// ProofSection5StrassenChecked is ProofSection5Strassen with
+// overflow-checked arithmetic, returning ErrOverflow (wrapped) when the
+// exact bound does not fit int64.
+func ProofSection5StrassenChecked(r int, m int64) (int64, error) {
+	lim, ok := mulChecked(132, m)
+	if !ok {
+		return 0, fmt.Errorf("%w: 132·M with M=%d", ErrOverflow, m)
+	}
+	k := ceilLog(4, lim)
+	if k > int64(r) {
+		return 0, nil
+	}
+	fourK, err := powChecked(4, k)
+	if err != nil {
+		return 0, err
+	}
+	sevenRK, err := powChecked(7, int64(r)-k)
+	if err != nil {
+		return 0, err
+	}
+	counted, ok := mulChecked(fourK, sevenRK)
+	if !ok {
+		return 0, fmt.Errorf("%w: 4^%d·7^%d", ErrOverflow, k, int64(r)-k)
+	}
+	return counted / (66 * m) * m, nil // 66·m ≤ 132·m, already checked
 }
 
 // DFSUpperBound estimates the I/O of the recursive depth-first blocked
@@ -148,18 +247,33 @@ func CrossoverN(omega0 float64, m float64) float64 {
 
 // RegimeOK reports whether (n, M) is inside Theorem 1's regime
 // M ≤ o(n²), approximated as the exact condition the proof needs:
-// k = ⌈log_a 72M⌉ ≤ r − 2.
+// k = ⌈log_a 72M⌉ ≤ r − 2. An M so large that 72M overflows int64 is
+// out of regime for every representable r.
 func RegimeOK(alg *bilinear.Algorithm, r int, m int64) bool {
-	return ceilLog(int64(alg.A()), 72*m) <= int64(r)-2
+	lim, ok := mulChecked(72, m)
+	if !ok {
+		return false
+	}
+	return ceilLog(int64(alg.A()), lim) <= int64(r)-2
 }
 
 // KForM returns the paper's segment parameter k = ⌈log_a 72M⌉, the
-// smallest k with aᵏ ≥ 72M (i.e. aᵏ ≥ 2·36M).
+// smallest k with aᵏ ≥ 72M (i.e. aᵏ ≥ 2·36M). When 72M overflows int64
+// the exact k is not representable through this path; the returned
+// value is ⌈log_a MaxInt64⌉, a lower bound on the true k (such M is out
+// of regime for every reachable r anyway, see RegimeOK).
 func KForM(alg *bilinear.Algorithm, m int64) int {
-	return int(ceilLog(int64(alg.A()), 72*m))
+	lim, ok := mulChecked(72, m)
+	if !ok {
+		lim = math.MaxInt64
+	}
+	return int(ceilLog(int64(alg.A()), lim))
 }
 
-// ceilLog returns ⌈log_base(x)⌉ computed in integers.
+// ceilLog returns ⌈log_base(x)⌉ computed in integers. The running
+// power is guarded against wrapping: its predecessor in the seed
+// (`v *= base` unchecked) wrapped through zero near 2⁶³ and looped
+// forever on large x.
 func ceilLog(base, x int64) int64 {
 	if base < 2 {
 		panic(fmt.Errorf("bounds: ceilLog base %d", base))
@@ -170,19 +284,15 @@ func ceilLog(base, x int64) int64 {
 	var k int64
 	v := int64(1)
 	for v < x {
+		if v > math.MaxInt64/base {
+			// v·base would exceed MaxInt64 ≥ x, so one more step
+			// reaches x: done without forming the product.
+			return k + 1
+		}
 		v *= base
 		k++
 	}
 	return k
-}
-
-// pow returns base^e for small nonnegative e.
-func pow(base, e int64) int64 {
-	p := int64(1)
-	for i := int64(0); i < e; i++ {
-		p *= base
-	}
-	return p
 }
 
 // ArithmeticOps returns the exact number of arithmetic operations
@@ -191,7 +301,20 @@ func pow(base, e int64) int64 {
 // U, V, W: each recursion level performs one scalar operation per
 // nonzero per suffix, and the b^r base products one multiplication
 // each. Useful for Θ(n^ω₀) sanity checks and flop/word intensity.
+// It saturates to math.MaxInt64 when the exact count overflows int64;
+// ArithmeticOpsChecked reports the overflow as an error instead.
 func ArithmeticOps(alg *bilinear.Algorithm, r int) int64 {
+	v, err := ArithmeticOpsChecked(alg, r)
+	if err != nil {
+		return math.MaxInt64
+	}
+	return v
+}
+
+// ArithmeticOpsChecked is ArithmeticOps with overflow-checked
+// arithmetic, returning ErrOverflow (wrapped) when the exact operation
+// count does not fit int64.
+func ArithmeticOpsChecked(alg *bilinear.Algorithm, r int) (int64, error) {
 	a, b := int64(alg.A()), int64(alg.B())
 	nnz := func(m [][]rat.Rat) int64 {
 		var c int64
@@ -204,22 +327,40 @@ func ArithmeticOps(alg *bilinear.Algorithm, r int) int64 {
 		}
 		return c
 	}
-	encOps := nnz(alg.U) + nnz(alg.V)
-	decOps := nnz(alg.W)
-	var total int64
-	powB := int64(1) // b^j
-	powA := pow(a, int64(r))
-	for j := 1; j <= r; j++ {
-		powB *= b
-		powA /= a
-		// Encoding rank j: for each of b^(j-1) prefixes and a^(r-j)
-		// suffixes, one operation per nonzero of the applied row.
-		total += (powB / b) * powA * encOps
-		// Decoding rank j similarly.
-		total += (powB / b) * powA * decOps
+	levelOps := nnz(alg.U) + nnz(alg.V) + nnz(alg.W)
+	overflow := func() (int64, error) {
+		return 0, fmt.Errorf("%w: arithmetic ops of %s at r=%d", ErrOverflow, alg.Name, r)
 	}
-	total += pow(b, int64(r)) // the multiplications
-	return total
+	total, err := powChecked(b, int64(r)) // the multiplications
+	if err != nil {
+		return overflow()
+	}
+	powA, err := powChecked(a, int64(r))
+	if err != nil {
+		return overflow()
+	}
+	powB := int64(1) // b^j
+	for j := 1; j <= r; j++ {
+		var ok bool
+		if powB, ok = mulChecked(powB, b); !ok {
+			return overflow()
+		}
+		powA /= a
+		// Rank j: for each of b^(j-1) prefixes and a^(r-j) suffixes,
+		// one operation per nonzero of the applied row (encoding and
+		// decoding alike).
+		term, ok := mulChecked(powB/b, powA)
+		if ok {
+			term, ok = mulChecked(term, levelOps)
+		}
+		if ok {
+			total, ok = addChecked(total, term)
+		}
+		if !ok {
+			return overflow()
+		}
+	}
+	return total, nil
 }
 
 // MinFeasibleM returns the smallest cache size at which the pebble

@@ -1,6 +1,7 @@
 package bounds
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -184,8 +185,126 @@ func TestCeilLogAndPow(t *testing.T) {
 	if ceilLog(4, 1) != 0 || ceilLog(4, 4) != 1 || ceilLog(4, 5) != 2 || ceilLog(2, 1024) != 10 {
 		t.Error("ceilLog wrong")
 	}
-	if pow(7, 3) != 343 || pow(5, 0) != 1 {
-		t.Error("pow wrong")
+	if p, err := powChecked(7, 3); err != nil || p != 343 {
+		t.Errorf("powChecked(7,3) = %d, %v", p, err)
+	}
+	if p, err := powChecked(5, 0); err != nil || p != 1 {
+		t.Errorf("powChecked(5,0) = %d, %v", p, err)
+	}
+	if _, err := powChecked(7, 23); !errors.Is(err, ErrOverflow) { // 7²³ ≈ 2.7e19 > 2⁶³
+		t.Errorf("powChecked(7,23) err = %v, want ErrOverflow", err)
+	}
+	if p, err := powChecked(7, 22); err != nil || p != 3909821048582988049 {
+		t.Errorf("powChecked(7,22) = %d, %v", p, err) // largest power of 7 in int64
+	}
+}
+
+// TestCeilLogNearMaxInt64 is the regression test for the unguarded
+// `v *= base` loop: with x beyond the largest representable power of
+// the base, the running power wrapped through zero (for base 4,
+// exactly to 0 at 4³² = 2⁶⁴) and the pre-fix loop never terminated.
+func TestCeilLogNearMaxInt64(t *testing.T) {
+	if got := ceilLog(4, math.MaxInt64); got != 32 { // 4³¹ < 2⁶³−1 ≤ 4³²
+		t.Errorf("ceilLog(4, MaxInt64) = %d, want 32", got)
+	}
+	if got := ceilLog(2, math.MaxInt64); got != 63 {
+		t.Errorf("ceilLog(2, MaxInt64) = %d, want 63", got)
+	}
+	if got := ceilLog(7, math.MaxInt64); got != 23 {
+		t.Errorf("ceilLog(7, MaxInt64) = %d, want 23", got)
+	}
+	// One below the boundary still takes the untruncated path.
+	if got := ceilLog(2, 1<<62); got != 62 {
+		t.Errorf("ceilLog(2, 2⁶²) = %d, want 62", got)
+	}
+}
+
+// TestProofBoundsOverflow pins the first overflowing (r, M) points of
+// the closed-form proof bounds. The pre-fix code formed the products
+// with wrapping multiplication and returned garbage there; now the
+// Checked variants report ErrOverflow and the plain ones saturate to
+// the MaxInt64 sentinel.
+func TestProofBoundsOverflow(t *testing.T) {
+	// Section 5, M=1: k = ⌈log₄ 132⌉ = 4, counted = 256·7^(r−4);
+	// r=23 is the last fit (256·7¹⁹ ≈ 2.9e18), r=24 overflows.
+	if v, err := ProofSection5StrassenChecked(23, 1); err != nil || v <= 0 || v == math.MaxInt64 {
+		t.Errorf("r=23 (last in-range): %d, %v", v, err)
+	}
+	if _, err := ProofSection5StrassenChecked(24, 1); !errors.Is(err, ErrOverflow) {
+		t.Errorf("r=24 err = %v, want ErrOverflow", err)
+	}
+	if got := ProofSection5Strassen(24, 1); got != math.MaxInt64 {
+		t.Errorf("r=24 sentinel = %d, want MaxInt64", got)
+	}
+
+	// Section 6 (Strassen a=4, b=7), M=1: k = ⌈log₄ 72⌉ = 4,
+	// counted = 3·256·7^(r−6); r=25 fits (768·7¹⁹ ≈ 8.8e18), r=26 overflows.
+	alg := bilinear.Strassen()
+	if v, err := ProofSequentialChecked(alg, 25, 1); err != nil || v <= 0 || v == math.MaxInt64 {
+		t.Errorf("sequential r=25 (last in-range): %d, %v", v, err)
+	}
+	if _, err := ProofSequentialChecked(alg, 26, 1); !errors.Is(err, ErrOverflow) {
+		t.Errorf("sequential r=26 err = %v, want ErrOverflow", err)
+	}
+	if got := ProofSequential(alg, 26, 1); got != math.MaxInt64 {
+		t.Errorf("sequential r=26 sentinel = %d, want MaxInt64", got)
+	}
+
+	// M itself too large to form 72M / 132M.
+	hugeM := int64(math.MaxInt64/72 + 1)
+	if _, err := ProofSequentialChecked(alg, 30, hugeM); !errors.Is(err, ErrOverflow) {
+		t.Errorf("72M-overflow err = %v, want ErrOverflow", err)
+	}
+}
+
+// TestRegimeAndKForMOverflow: the regime test and segment parameter
+// formed 72·M unchecked; an M near MaxInt64 wrapped it negative,
+// making ceilLog return 0 and RegimeOK report huge caches as in-regime.
+func TestRegimeAndKForMOverflow(t *testing.T) {
+	alg := bilinear.Strassen()
+	hugeM := int64(math.MaxInt64/72 + 1)
+	if RegimeOK(alg, 1000, hugeM) {
+		t.Error("RegimeOK accepted an M with 72M overflowing int64")
+	}
+	if got := KForM(alg, hugeM); got != 32 { // ⌈log₄ MaxInt64⌉ fallback
+		t.Errorf("KForM(hugeM) = %d, want 32", got)
+	}
+	// Well below overflow the definition still holds exactly.
+	if got := KForM(alg, math.MaxInt64/72); got != 32 {
+		t.Errorf("KForM(MaxInt64/72) = %d, want 32", got)
+	}
+}
+
+// TestArithmeticOpsOverflow finds the first overflowing r dynamically
+// and pins the saturation sentinel there; pre-fix the count wrapped.
+func TestArithmeticOpsOverflow(t *testing.T) {
+	alg := bilinear.Strassen()
+	firstBad := 0
+	for r := 1; r <= 40; r++ {
+		if _, err := ArithmeticOpsChecked(alg, r); err != nil {
+			if !errors.Is(err, ErrOverflow) {
+				t.Fatalf("r=%d: unexpected error %v", r, err)
+			}
+			firstBad = r
+			break
+		}
+	}
+	if firstBad == 0 {
+		t.Fatal("no overflowing r found up to 40 — test is vacuous")
+	}
+	// 7^r alone passes int64 at r=23, so overflow must hit by then.
+	if firstBad > 23 {
+		t.Errorf("first overflow at r=%d, expected ≤ 23", firstBad)
+	}
+	last, err := ArithmeticOpsChecked(alg, firstBad-1)
+	if err != nil || last <= 0 || last == math.MaxInt64 {
+		t.Errorf("r=%d (last in-range): %d, %v", firstBad-1, last, err)
+	}
+	if got := ArithmeticOps(alg, firstBad); got != math.MaxInt64 {
+		t.Errorf("r=%d sentinel = %d, want MaxInt64", firstBad, got)
+	}
+	if got := ArithmeticOps(alg, firstBad-1); got != last {
+		t.Errorf("unchecked/checked disagree in range: %d vs %d", got, last)
 	}
 }
 

@@ -46,10 +46,14 @@ func TestEquation2HoldsOnSmallGraphAllSchedules(t *testing.T) {
 	// random schedules on Strassen G_4 with the relaxed quota.
 	g := mustGraph(t, bilinear.Strassen(), 4)
 	rng := rand.New(rand.NewSource(11))
+	random, err := schedule.RandomTopological(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	scheds := map[string][]cdag.V{
 		"dfs":    schedule.RecursiveDFS(g),
 		"rank":   schedule.RankByRank(g),
-		"random": schedule.RandomTopological(g, rng),
+		"random": random,
 	}
 	for name, sched := range scheds {
 		cert, err := Certify(g, sched, Options{K: 2, RelaxedTarget: 8})

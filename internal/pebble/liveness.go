@@ -37,6 +37,9 @@ type Liveness struct {
 // computed (they are then written out). The schedule must be valid
 // (see schedule.Validate); behaviour on invalid schedules is undefined.
 func AnalyzeLiveness(g *cdag.Graph, sched []cdag.V) (Liveness, error) {
+	if err := checkScheduleLen(len(sched)); err != nil {
+		return Liveness{}, err
+	}
 	n := g.NumVertices()
 	lastUse := make([]int32, n)
 	for i := range lastUse {
@@ -106,7 +109,10 @@ func BestOfRandom(g *cdag.Graph, m int, nTrials int, rng *rand.Rand) (int64, err
 	}
 	best := int64(-1)
 	for i := 0; i < nTrials; i++ {
-		sched := schedule.RandomTopological(g, rng)
+		sched, err := schedule.RandomTopological(g, rng)
+		if err != nil {
+			return 0, err
+		}
 		res, err := (&Simulator{G: g, M: m, P: MIN}).Run(sched)
 		if err != nil {
 			return 0, err

@@ -21,6 +21,7 @@ package pebble
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"pathrouting/internal/cdag"
 )
@@ -117,7 +118,37 @@ func (h *evictHeap) Pop() any {
 	return v
 }
 
+// never is the next-use key of a value with no further use. It must
+// compare greater than every real schedule position, so schedules long
+// enough for int32 positions to reach it are rejected up front (see
+// checkScheduleLen) instead of silently corrupting MIN's priorities.
 const never = int32(1 << 30)
+
+// maxScheduleLen is the longest schedule the int32 next-use keys can
+// address: positions must stay strictly below the `never` sentinel.
+// Strassen k≥11 has more product vertices than this alone — such runs
+// need the position type widened, not a wrapped comparison.
+const maxScheduleLen = int(never) - 1
+
+// checkScheduleLen rejects schedules whose positions would overflow the
+// int32 next-use keys. Factored out of Run/AnalyzeLiveness so the guard
+// is testable without allocating a 2³⁰-vertex schedule.
+func checkScheduleLen(n int) error {
+	if n > maxScheduleLen {
+		return fmt.Errorf("pebble: schedule length %d exceeds the int32 position limit %d; widen the next-use keys before simulating at this scale", n, maxScheduleLen)
+	}
+	return nil
+}
+
+// checkUseCount rejects use-list growth past int32 indexing (the
+// next-use chains store int32 links; with fan-in ≥ 2 they can overflow
+// even when the schedule length alone does not).
+func checkUseCount(have, add int) error {
+	if have > math.MaxInt32-add {
+		return fmt.Errorf("pebble: %d parent uses exceed the int32 chain limit; widen the next-use keys before simulating at this scale", have+add)
+	}
+	return nil
+}
 
 // Run simulates the schedule and returns the measured I/O. The schedule
 // must be a topological order of every non-input vertex of the graph
@@ -127,6 +158,9 @@ func (s *Simulator) Run(schedule []cdag.V) (Result, error) {
 	g := s.G
 	if s.M < 2 {
 		return Result{}, fmt.Errorf("pebble: cache size M = %d < 2 cannot compute binary operations", s.M)
+	}
+	if err := checkScheduleLen(len(schedule)); err != nil {
+		return Result{}, err
 	}
 	n := g.NumVertices()
 
@@ -146,6 +180,9 @@ func (s *Simulator) Run(schedule []cdag.V) (Result, error) {
 	for pos := len(schedule) - 1; pos >= 0; pos-- {
 		v := schedule[pos]
 		parentBuf = g.AppendParents(v, parentBuf[:0])
+		if err := checkUseCount(len(uses), len(parentBuf)); err != nil {
+			return Result{}, err
+		}
 		for _, e := range parentBuf {
 			uses = append(uses, useEntry{pos: int32(pos), next: useHead[e.To]})
 			useHead[e.To] = int32(len(uses) - 1)

@@ -428,3 +428,35 @@ func TestPolicyString(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleLengthGuard is the regression test for the int32 next-use
+// keys: a schedule with positions at or past the `never` sentinel
+// (2³⁰) would wrap MIN's priorities and silently corrupt eviction
+// decisions. The guard is factored into checkScheduleLen/checkUseCount
+// precisely so this limit is testable without allocating a
+// 2³⁰-vertex schedule.
+func TestScheduleLengthGuard(t *testing.T) {
+	if err := checkScheduleLen(maxScheduleLen); err != nil {
+		t.Errorf("length %d (largest addressable) rejected: %v", maxScheduleLen, err)
+	}
+	if err := checkScheduleLen(maxScheduleLen + 1); err == nil {
+		t.Errorf("length %d accepted; positions would reach the never sentinel %d", maxScheduleLen+1, never)
+	}
+	// Every accepted position must compare below the sentinel.
+	if int32(maxScheduleLen-1) >= never {
+		t.Error("maxScheduleLen inconsistent with the never sentinel")
+	}
+	// The use chains are int32-indexed too and grow by fan-in per
+	// vertex, so they can overflow before the schedule length does.
+	if err := checkUseCount(1<<31-3, 3); err == nil {
+		t.Error("use-chain count past int32 accepted")
+	}
+	if err := checkUseCount(1<<31-3, 2); err != nil {
+		t.Errorf("in-range use-chain count rejected: %v", err)
+	}
+	// Realistic schedules sail through both guards end to end.
+	g := mustGraph(t, bilinear.Strassen(), 3)
+	if _, err := (&Simulator{G: g, M: 32, P: MIN}).Run(schedule.RecursiveDFS(g)); err != nil {
+		t.Errorf("guard broke a valid run: %v", err)
+	}
+}

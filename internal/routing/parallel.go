@@ -1,12 +1,16 @@
 package routing
 
 // The Routing Theorem verification engine. The check is embarrassingly
-// parallel over the input index: each worker enumerates the pair paths
-// of a contiguous slice of inputs (both sides) into worker-local int64
-// hit accumulators, merged at the end, so the heavy Theorem 2
-// verification scales with cores. VerifyFullRouting is literally the
-// one-worker instance of the same code path, which makes the parallel
-// and sequential results bit-identical by construction.
+// parallel over *rows* of the pair-path enumeration space: row
+// s·aᵏ + in covers the aᵏ paths from input `in` of side s to every
+// output, and rows inherit the sequential enumeration order of
+// ForEachPairPath. Each worker scans a contiguous row range into
+// worker-local int64 hit accumulators, merged at the end, so the heavy
+// Theorem 2 verification scales with cores. VerifyFullRouting is
+// literally the one-worker instance of the same code path, which makes
+// the parallel and sequential results bit-identical by construction.
+// The same row ranges are the unit of the checkpoint shards (see
+// checkpoint.go), so checkpointed runs are bit-identical too.
 //
 // Failure semantics: workers publish the sequential position of the
 // first error they hit through a shared atomic minimum. A worker whose
@@ -42,9 +46,9 @@ const (
 )
 
 // VerifyFullRoutingParallel is VerifyFullRouting distributed over
-// workers goroutines (0 → GOMAXPROCS, clamped to one input slice per
-// worker). It verifies the same properties and returns the same
-// statistics and, for corrupted routings, the same error.
+// workers goroutines (0 → GOMAXPROCS, clamped to one row per worker).
+// It verifies the same properties and returns the same statistics and,
+// for corrupted routings, the same error.
 func (r *Router) VerifyFullRoutingParallel(workers int) (Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -89,6 +93,19 @@ func (r *Router) pairIndex(side bilinear.Side, in, out int64) int64 {
 	return (s*aK+in)*aK + out
 }
 
+// numRows is the size of the row space: one row per (side, input), in
+// sequential enumeration order, so the pair path at position p lives in
+// row p / aᵏ.
+func (r *Router) numRows() int64 { return 2 * r.powA[r.k] }
+
+// rowOf decomposes a row index into its (side, input).
+func (r *Router) rowOf(row int64) (bilinear.Side, int64) {
+	if aK := r.powA[r.k]; row >= aK {
+		return bilinear.SideB, row - aK
+	}
+	return bilinear.SideA, row
+}
+
 func (r *Router) adjStride() int64 {
 	if r.AdjacencySampleStride > 0 {
 		return r.AdjacencySampleStride
@@ -96,10 +113,11 @@ func (r *Router) adjStride() int64 {
 	return defaultAdjacencyStride
 }
 
-// fullRoutingWorker verifies the pair paths of inputs [lo, hi) of both
-// sides: length, endpoints, sampled edge-by-edge adjacency, and hit
-// accumulation per vertex and per meta-vertex.
-func (r *Router) fullRoutingWorker(w, workers int, lo, hi int64, earliestErr *atomic.Int64, out *workerState) {
+// scanRows verifies the pair paths of rows [rowLo, rowHi): length,
+// endpoints, sampled edge-by-edge adjacency, and hit accumulation per
+// vertex and per meta-vertex. It is the shared core of the plain
+// workers and of the checkpoint shards.
+func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomic.Int64, out *workerState) {
 	g := r.G
 	aK := r.powA[r.k]
 	wantLen := 3*(2*r.k+2) - 2
@@ -107,7 +125,7 @@ func (r *Router) fullRoutingWorker(w, workers int, lo, hi int64, earliestErr *at
 	out.hits = make(hitVec, g.NumVertices())
 	out.metaHits = make(map[cdag.V]int64)
 	out.errPos = math.MaxInt64
-	total := 2 * (hi - lo) * aK
+	total := (rowHi - rowLo) * aK
 	emit := func(final bool) {
 		if r.Progress == nil {
 			return
@@ -119,54 +137,53 @@ func (r *Router) fullRoutingWorker(w, workers int, lo, hi int64, earliestErr *at
 
 	var buf []cdag.V
 	roots := make(map[cdag.V]struct{}, 16)
-	for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
-		for in := lo; in < hi; in++ {
-			// Cooperative cancellation: an error published at a position
-			// before everything left in this worker's scan makes the
-			// rest of the scan irrelevant to the first-error selection.
-			if earliestErr.Load() < r.pairIndex(side, in, 0) {
+	for row := rowLo; row < rowHi; row++ {
+		// Cooperative cancellation: an error published at a position
+		// before everything left in this worker's scan makes the
+		// rest of the scan irrelevant to the first-error selection.
+		if earliestErr.Load() < row*aK {
+			return
+		}
+		side, in := r.rowOf(row)
+		for outIdx := int64(0); outIdx < aK; outIdx++ {
+			buf = r.PairPath(side, in, outIdx, buf[:0])
+			idx := row*aK + outIdx
+			out.numPaths++
+			out.totalHits += int64(len(buf))
+			if len(buf) != wantLen {
+				out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): length %d, want %d",
+					side, in, outIdx, len(buf), wantLen), earliestErr)
 				return
 			}
-			for outIdx := int64(0); outIdx < aK; outIdx++ {
-				buf = r.PairPath(side, in, outIdx, buf[:0])
-				idx := r.pairIndex(side, in, outIdx)
-				out.numPaths++
-				out.totalHits += int64(len(buf))
-				if len(buf) != wantLen {
-					out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): length %d, want %d",
-						side, in, outIdx, len(buf), wantLen), earliestErr)
-					return
-				}
-				wantIn := g.InputA(in)
-				if side == bilinear.SideB {
-					wantIn = g.InputB(in)
-				}
-				if buf[0] != wantIn || buf[len(buf)-1] != g.Output(outIdx) {
-					out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): endpoints %s..%s",
-						side, in, outIdx, g.Label(buf[0]), g.Label(buf[len(buf)-1])), earliestErr)
-					return
-				}
-				if idx%stride == 0 {
-					out.adjChecked++
-					for i := 0; i+1 < len(buf); i++ {
-						if !r.adjacent(buf[i], buf[i+1]) {
-							out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): not connected at %s -- %s",
-								side, in, outIdx, g.Label(buf[i]), g.Label(buf[i+1])), earliestErr)
-							return
-						}
+			wantIn := g.InputA(in)
+			if side == bilinear.SideB {
+				wantIn = g.InputB(in)
+			}
+			if buf[0] != wantIn || buf[len(buf)-1] != g.Output(outIdx) {
+				out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): endpoints %s..%s",
+					side, in, outIdx, g.Label(buf[0]), g.Label(buf[len(buf)-1])), earliestErr)
+				return
+			}
+			if idx%stride == 0 {
+				out.adjChecked++
+				for i := 0; i+1 < len(buf); i++ {
+					if !r.adjacent(buf[i], buf[i+1]) {
+						out.fail(idx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): not connected at %s -- %s",
+							side, in, outIdx, g.Label(buf[i]), g.Label(buf[i+1])), earliestErr)
+						return
 					}
 				}
-				clear(roots)
-				for _, v := range buf {
-					out.peak = max(out.peak, out.hits.bump(v))
-					roots[g.MetaRoot(v)] = struct{}{}
-				}
-				for root := range roots {
-					out.metaHits[root]++
-				}
-				if r.Progress != nil && out.numPaths%progressChunk == 0 {
-					emit(false)
-				}
+			}
+			clear(roots)
+			for _, v := range buf {
+				out.peak = max(out.peak, out.hits.bump(v))
+				roots[g.MetaRoot(v)] = struct{}{}
+			}
+			for root := range roots {
+				out.metaHits[root]++
+			}
+			if r.Progress != nil && out.numPaths%progressChunk == 0 {
+				emit(false)
 			}
 		}
 	}
@@ -176,9 +193,9 @@ func (r *Router) fullRoutingWorker(w, workers int, lo, hi int64, earliestErr *at
 // and VerifyFullRoutingParallel.
 func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 	start := time.Now()
-	aK := r.powA[r.k]
-	if int64(workers) > aK {
-		workers = int(aK) // at most one input slice per worker
+	rows := r.numRows()
+	if int64(workers) > rows {
+		workers = int(rows) // at most one row per worker
 	}
 	if workers < 1 {
 		workers = 1
@@ -190,11 +207,11 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 	var earliestErr atomic.Int64
 	earliestErr.Store(math.MaxInt64)
 	if workers == 1 {
-		r.fullRoutingWorker(0, 1, 0, aK, &earliestErr, &outs[0])
+		r.scanRows(0, 1, 0, rows, &earliestErr, &outs[0])
 	} else {
-		// Overflow-safe slice partition: |slice| ∈ {⌊aK/W⌋, ⌈aK/W⌉},
-		// never forming the product aK·w.
-		q, rem := aK/int64(workers), aK%int64(workers)
+		// Overflow-safe row partition: |slice| ∈ {⌊rows/W⌋, ⌈rows/W⌉},
+		// never forming the product rows·w.
+		q, rem := rows/int64(workers), rows%int64(workers)
 		var wg sync.WaitGroup
 		lo := int64(0)
 		for w := 0; w < workers; w++ {
@@ -205,7 +222,7 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 			wg.Add(1)
 			go func(w int, lo, hi int64) {
 				defer wg.Done()
-				r.fullRoutingWorker(w, workers, lo, hi, &earliestErr, &outs[w])
+				r.scanRows(w, workers, lo, hi, &earliestErr, &outs[w])
 			}(w, lo, hi)
 			lo = hi
 		}
@@ -217,7 +234,6 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 // finalizeFullRouting merges the worker accumulators, selects the
 // deterministic first error, and checks the 6aᵏ bounds.
 func (r *Router) finalizeFullRouting(start time.Time, outs []workerState) (Stats, error) {
-	g := r.G
 	st := Stats{Bound: 6 * r.powA[r.k]}
 	var firstErr error
 	firstPos := int64(math.MaxInt64)
@@ -251,13 +267,20 @@ func (r *Router) finalizeFullRouting(start time.Time, outs []workerState) (Stats
 		}
 	}
 	st.Elapsed = time.Since(start)
+	return st, r.checkFullRoutingBounds(st)
+}
+
+// checkFullRoutingBounds verifies the Routing Theorem's 6aᵏ bounds on
+// fully merged stats; shared by the plain and checkpointed finalizers
+// so both report identical violations.
+func (r *Router) checkFullRoutingBounds(st Stats) error {
 	if st.MaxVertexHits > st.Bound {
-		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: vertex hit %d > 6aᵏ = %d",
-			g.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
+		return fmt.Errorf("routing: %s G_%d: Routing Theorem violated: vertex hit %d > 6aᵏ = %d",
+			r.G.Alg.Name, r.k, st.MaxVertexHits, st.Bound)
 	}
 	if st.MaxMetaHits > st.Bound {
-		return st, fmt.Errorf("routing: %s G_%d: Routing Theorem violated: meta-vertex hit %d > 6aᵏ = %d",
-			g.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
+		return fmt.Errorf("routing: %s G_%d: Routing Theorem violated: meta-vertex hit %d > 6aᵏ = %d",
+			r.G.Alg.Name, r.k, st.MaxMetaHits, st.Bound)
 	}
-	return st, nil
+	return nil
 }

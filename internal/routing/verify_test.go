@@ -131,40 +131,45 @@ func TestParallelReportsSequentialError(t *testing.T) {
 	}
 }
 
-// TestWorkerCancelsOnPublishedError drives fullRoutingWorker directly
-// against a pre-published error position and checks the cancellation
-// contract at both granularities: an error before the worker's range
-// stops it before any work, and an error inside the range stops it at
-// the next input boundary — while an error after the range does not
-// stop it at all (it might still own an earlier failure).
+// TestWorkerCancelsOnPublishedError drives scanRows directly against a
+// pre-published error position and checks the cancellation contract at
+// both granularities: an error before the worker's row range stops it
+// before any work, and an error inside the range stops it at the next
+// row boundary — while an error after the range does not stop it at
+// all (it might still own an earlier failure).
 func TestWorkerCancelsOnPublishedError(t *testing.T) {
-	r := mustRouter(t, bilinear.Strassen(), 2) // aK = 16
+	r := mustRouter(t, bilinear.Strassen(), 2) // aK = 16, 32 rows
 	aK := r.powA[r.k]
 
-	run := func(published int64, lo, hi int64) workerState {
+	run := func(published int64, rowLo, rowHi int64) workerState {
 		var earliest atomic.Int64
 		earliest.Store(published)
 		var out workerState
-		r.fullRoutingWorker(1, 2, lo, hi, &earliest, &out)
+		r.scanRows(1, 2, rowLo, rowHi, &earliest, &out)
 		return out
 	}
 
 	if got := run(0, 5, 10); got.numPaths != 0 {
 		t.Errorf("error before range: worker enumerated %d paths, want 0", got.numPaths)
 	}
-	// Error inside the range, at input 7 of side A: the worker checks
-	// cancellation once per input, so it finishes inputs 5..7 of side A
-	// (the input owning the error position must still be scanned — this
-	// worker might find an even earlier failure inside it).
+	// Error inside the range, at row 7 (side A, input 7): the worker
+	// checks cancellation once per row, so it finishes rows 5..7 (the
+	// row owning the error position must still be scanned — this worker
+	// might find an even earlier failure inside it).
 	if got := run(r.pairIndex(bilinear.SideA, 7, 3), 5, 10); got.numPaths != 3*aK {
 		t.Errorf("error inside range: worker enumerated %d paths, want %d", got.numPaths, 3*aK)
 	}
-	// Error after the range: no cancellation, full scan of both sides.
-	if got := run(r.pairIndex(bilinear.SideB, 12, 0), 5, 10); got.numPaths != 2*5*aK {
-		t.Errorf("error after range: worker enumerated %d paths, want %d", got.numPaths, 2*5*aK)
+	// Error after the range: no cancellation, full scan of all 5 rows.
+	if got := run(r.pairIndex(bilinear.SideB, 12, 0), 5, 10); got.numPaths != 5*aK {
+		t.Errorf("error after range: worker enumerated %d paths, want %d", got.numPaths, 5*aK)
 	}
-	if got := run(math.MaxInt64, 5, 10); got.err != nil || got.numPaths != 2*5*aK {
+	if got := run(math.MaxInt64, 5, 10); got.err != nil || got.numPaths != 5*aK {
 		t.Errorf("healthy run: err=%v paths=%d", got.err, got.numPaths)
+	}
+	// A range spanning the side boundary (rows aK-1 and aK are the last
+	// A-input and the first B-input) scans both sides' rows.
+	if got := run(math.MaxInt64, aK-1, aK+1); got.err != nil || got.numPaths != 2*aK {
+		t.Errorf("side-boundary range: err=%v paths=%d, want %d", got.err, got.numPaths, 2*aK)
 	}
 }
 

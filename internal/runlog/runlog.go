@@ -1,0 +1,227 @@
+// Package runlog is the structured run journal for long verification
+// runs: an append-only JSONL file with one self-describing record per
+// event (run start, shard completion, Routing Theorem violation, final
+// stats). The format is crash-tolerant by construction — each record is
+// a single line, written with a single Write call, so a torn final line
+// from a killed process never corrupts the lines before it — and the
+// reader (Summarize) skips unparsable lines instead of failing, so a
+// journal that outlived several interrupted runs still summarizes.
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SchemaVersion is stamped into every record so future readers can
+// evolve the format without guessing.
+const SchemaVersion = 1
+
+// Event names. A journal may contain any mix, across multiple runs.
+const (
+	EventRunStart  = "run_start"
+	EventShardDone = "shard_done"
+	EventViolation = "violation"
+	EventFinal     = "final"
+)
+
+// Record is one journal line. Fields are a union across event types;
+// encoding omits the ones an event doesn't use.
+type Record struct {
+	Schema  int    `json:"schema"`
+	Event   string `json:"event"`
+	Time    string `json:"time"` // RFC 3339, UTC
+	Tool    string `json:"tool,omitempty"`
+	Alg     string `json:"alg,omitempty"`
+	K       int    `json:"k,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+
+	// shard_done
+	Shard       int64 `json:"shard,omitempty"`
+	ShardsDone  int64 `json:"shards_done,omitempty"`
+	ShardsTotal int64 `json:"shards_total,omitempty"`
+	ShardPaths  int64 `json:"shard_paths,omitempty"`
+
+	// violation
+	Error string `json:"error,omitempty"`
+
+	// final
+	Paths         int64   `json:"paths,omitempty"`
+	TotalHits     int64   `json:"total_hits,omitempty"`
+	MaxVertexHits int64   `json:"max_vertex_hits,omitempty"`
+	MaxMetaHits   int64   `json:"max_meta_hits,omitempty"`
+	Bound         int64   `json:"bound,omitempty"`
+	AdjChecked    int64   `json:"adj_checked,omitempty"`
+	ElapsedSec    float64 `json:"elapsed_sec,omitempty"`
+	PathsPerSec   float64 `json:"paths_per_sec,omitempty"`
+	Resumed       bool    `json:"resumed,omitempty"`
+	Paused        bool    `json:"paused,omitempty"`
+}
+
+// Writer appends records to a journal file. A nil *Writer is a valid
+// no-op sink, so callers can thread an optional journal without
+// branching at every emit site.
+type Writer struct {
+	f   *os.File
+	now func() time.Time
+}
+
+// Open opens (creating if needed) a journal for appending.
+func Open(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	return &Writer{f: f, now: time.Now}, nil
+}
+
+// Close closes the underlying file. Safe on nil.
+func (w *Writer) Close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// Emit stamps the schema version and timestamp onto rec and appends it
+// as one JSON line. Safe on nil (drops the record). Each record is a
+// single Write call, so concurrent emitters from one process interleave
+// at line granularity and a crash tears at most the final line.
+func (w *Writer) Emit(rec Record) error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	rec.Schema = SchemaVersion
+	rec.Time = w.now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	_, err = w.f.Write(append(line, '\n'))
+	return err
+}
+
+// Summary aggregates a journal across every run it records.
+type Summary struct {
+	Records    int // parsable lines
+	Skipped    int // torn or foreign lines
+	Runs       int // run_start events
+	Finals     int
+	Violations []string
+	ShardsDone int64 // shard_done events (re-runs of a shard count once each)
+	// ByRun holds one entry per (tool, alg, k) configuration seen, in
+	// first-appearance order.
+	ByRun []RunSummary
+}
+
+// RunSummary is the per-configuration roll-up.
+type RunSummary struct {
+	Tool, Alg   string
+	K           int
+	Starts      int
+	Paused      int
+	Finals      int
+	LastPaths   int64
+	LastElapsed float64
+	LastPPS     float64
+	BestPPS     float64
+}
+
+func (s *Summary) runFor(rec Record) *RunSummary {
+	for i := range s.ByRun {
+		r := &s.ByRun[i]
+		if r.Tool == rec.Tool && r.Alg == rec.Alg && r.K == rec.K {
+			return r
+		}
+	}
+	s.ByRun = append(s.ByRun, RunSummary{Tool: rec.Tool, Alg: rec.Alg, K: rec.K})
+	return &s.ByRun[len(s.ByRun)-1]
+}
+
+// Summarize reads a journal stream. Unparsable lines (torn tails from
+// killed runs, other formats) are counted in Skipped, never fatal.
+func Summarize(r io.Reader) (*Summary, error) {
+	s := &Summary{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Event == "" {
+			s.Skipped++
+			continue
+		}
+		s.Records++
+		run := s.runFor(rec)
+		switch rec.Event {
+		case EventRunStart:
+			s.Runs++
+			run.Starts++
+		case EventShardDone:
+			s.ShardsDone++
+		case EventViolation:
+			s.Violations = append(s.Violations, rec.Error)
+		case EventFinal:
+			s.Finals++
+			if rec.Paused {
+				run.Paused++
+			} else {
+				run.Finals++
+			}
+			run.LastPaths = rec.Paths
+			run.LastElapsed = rec.ElapsedSec
+			run.LastPPS = rec.PathsPerSec
+			run.BestPPS = max(run.BestPPS, rec.PathsPerSec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	return s, nil
+}
+
+// SummarizeFile is Summarize over a journal path.
+func SummarizeFile(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	defer f.Close()
+	return Summarize(f)
+}
+
+// Format renders a Summary for terminal output.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal: %d records (%d skipped), %d run starts, %d finals, %d shard completions\n",
+		s.Records, s.Skipped, s.Runs, s.Finals, s.ShardsDone)
+	runs := append([]RunSummary(nil), s.ByRun...)
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].Alg != runs[j].Alg {
+			return runs[i].Alg < runs[j].Alg
+		}
+		return runs[i].K < runs[j].K
+	})
+	for _, r := range runs {
+		fmt.Fprintf(&b, "  %s %s k=%d: %d starts, %d paused, %d completed",
+			r.Tool, r.Alg, r.K, r.Starts, r.Paused, r.Finals)
+		if r.LastPaths > 0 {
+			fmt.Fprintf(&b, "; last %d paths in %.2fs (%.0f paths/s, best %.0f)",
+				r.LastPaths, r.LastElapsed, r.LastPPS, r.BestPPS)
+		}
+		b.WriteString("\n")
+	}
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+// External test package: pebble imports schedule, so a test that drives
+// the pebble simulator over schedule output must live outside package
+// schedule to avoid the import cycle.
+package schedule_test
+
+import (
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+	"pathrouting/internal/pebble"
+	"pathrouting/internal/schedule"
+)
+
+// TestHybridDFSEdgeDepths pins the contract at the depth boundaries:
+// negative depths clamp to 0, depth ≥ r degenerates to RecursiveDFS,
+// and every clamped depth yields a schedule that both passes
+// schedule.Validate and survives a full pebble-game simulation.
+func TestHybridDFSEdgeDepths(t *testing.T) {
+	alg := bilinear.Strassen()
+	const r = 3
+	g, err := cdag.New(alg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	depths := []int{-5, -1, 0, 1, r - 1, r, r + 1, r + 100}
+	scheds := make(map[int][]cdag.V, len(depths))
+	for _, d := range depths {
+		sched := schedule.HybridDFS(g, d)
+		if err := schedule.Validate(g, sched); err != nil {
+			t.Fatalf("depth %d: %v", d, err)
+		}
+		scheds[d] = sched
+	}
+
+	equal := func(a, b []cdag.V) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Negative depths clamp to 0.
+	for _, d := range []int{-5, -1} {
+		if !equal(scheds[d], scheds[0]) {
+			t.Errorf("depth %d differs from depth 0", d)
+		}
+	}
+	// depth ≥ r is exactly RecursiveDFS.
+	full := schedule.RecursiveDFS(g)
+	for _, d := range []int{r, r + 1, r + 100} {
+		if !equal(scheds[d], full) {
+			t.Errorf("depth %d differs from RecursiveDFS", d)
+		}
+	}
+	// Interior depths are genuinely distinct orders, not silent clamps.
+	if equal(scheds[0], full) {
+		t.Error("depth 0 coincides with RecursiveDFS; interpolation is vacuous")
+	}
+	if equal(scheds[1], scheds[0]) || equal(scheds[1], full) {
+		t.Error("depth 1 coincides with an extreme; interpolation is vacuous")
+	}
+
+	// Pebble run at every edge depth: the simulator must accept the
+	// schedule, and the measured I/O must interpolate — deeper blocking
+	// never costs more under MIN at a cache that fits a subproblem but
+	// not a layer.
+	const m = 64
+	ios := make(map[int]int64, len(depths))
+	for _, d := range depths {
+		res, err := (&pebble.Simulator{G: g, M: m, P: pebble.MIN}).Run(scheds[d])
+		if err != nil {
+			t.Fatalf("depth %d: pebble run: %v", d, err)
+		}
+		if res.IO() <= 0 {
+			t.Fatalf("depth %d: non-positive I/O %d", d, res.IO())
+		}
+		ios[d] = res.IO()
+	}
+	for d := 1; d <= r; d++ {
+		if ios[d] > ios[d-1] {
+			t.Errorf("I/O not monotone in depth: depth %d = %d > depth %d = %d",
+				d, ios[d], d-1, ios[d-1])
+		}
+	}
+	if ios[r] >= ios[0] {
+		t.Errorf("depth r I/O %d does not beat depth 0 I/O %d", ios[r], ios[0])
+	}
+}

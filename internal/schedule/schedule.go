@@ -81,16 +81,22 @@ func RecursiveDFS(g *cdag.Graph) []cdag.V {
 
 // RandomTopological returns a uniformly random-ish topological order of
 // the non-input vertices (Kahn's algorithm with random tie-breaking).
-func RandomTopological(g *cdag.Graph, rng *rand.Rand) []cdag.V {
+// It errors when the ready queue drains before every non-input vertex
+// is emitted — a cyclic or otherwise corrupt graph. The seed returned
+// whatever partial order Kahn's produced, which downstream simulators
+// then misreported as a cheap valid schedule.
+func RandomTopological(g *cdag.Graph, rng *rand.Rand) ([]cdag.V, error) {
 	n := g.NumVertices()
 	indeg := make([]int32, n)
 	var buf []cdag.Edge
 	ready := make([]cdag.V, 0, 1024)
+	nonInputs := 0
 	for v := 0; v < n; v++ {
 		vv := cdag.V(v)
 		if g.IsInput(vv) {
 			continue
 		}
+		nonInputs++
 		buf = g.AppendParents(vv, buf[:0])
 		deg := int32(0)
 		for _, e := range buf {
@@ -118,7 +124,10 @@ func RandomTopological(g *cdag.Graph, rng *rand.Rand) []cdag.V {
 			}
 		}
 	}
-	return out
+	if len(out) != nonInputs {
+		return nil, fmt.Errorf("schedule: Kahn's algorithm emitted %d of %d non-input vertices — graph has a cycle or unreachable in-degrees", len(out), nonInputs)
+	}
+	return out, nil
 }
 
 // Validate checks that sched is a complete topological order of the

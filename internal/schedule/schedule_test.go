@@ -25,10 +25,14 @@ func TestGeneratorsAreValid(t *testing.T) {
 				continue
 			}
 			g := mustGraph(t, alg, r)
+			random, err := RandomTopological(g, rng)
+			if err != nil {
+				t.Fatalf("%s r=%d: %v", alg.Name, r, err)
+			}
 			for name, sched := range map[string][]cdag.V{
 				"rank":   RankByRank(g),
 				"dfs":    RecursiveDFS(g),
-				"random": RandomTopological(g, rng),
+				"random": random,
 			} {
 				if err := Validate(g, sched); err != nil {
 					t.Errorf("%s r=%d %s: %v", alg.Name, r, name, err)
@@ -98,8 +102,14 @@ func TestDFSOrderStructure(t *testing.T) {
 
 func TestRandomTopologicalDiffersAcrossSeeds(t *testing.T) {
 	g := mustGraph(t, bilinear.Strassen(), 2)
-	a := RandomTopological(g, rand.New(rand.NewSource(1)))
-	b := RandomTopological(g, rand.New(rand.NewSource(2)))
+	a, err := RandomTopological(g, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTopological(g, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range a {
 		if a[i] != b[i] {

@@ -145,7 +145,7 @@ func BuildSchedule(g *Graph, kind ScheduleKind, rng *rand.Rand) ([]V, error) {
 		if rng == nil {
 			return nil, fmt.Errorf("pathrouting: ScheduleRandom needs a rand source")
 		}
-		return schedule.RandomTopological(g, rng), nil
+		return schedule.RandomTopological(g, rng)
 	default:
 		return nil, fmt.Errorf("pathrouting: unknown schedule kind %d", kind)
 	}
@@ -445,6 +445,37 @@ func VerifyRoutingTheoremParallel(alg *Algorithm, k, workers int) (RoutingStats,
 		return RoutingStats{}, err
 	}
 	return r.VerifyFullRoutingParallel(workers)
+}
+
+// Checkpointed verification (crash-safe long runs).
+
+// RoutingCheckpointConfig configures VerifyRoutingTheoremCheckpointed.
+type RoutingCheckpointConfig = routing.CheckpointConfig
+
+// RoutingShardDone is the per-shard completion notification delivered
+// to RoutingCheckpointConfig.OnShard.
+type RoutingShardDone = routing.ShardDone
+
+// ErrRoutingPaused is wrapped by the error a checkpointed verification
+// returns when MaxShards stops it before completion; test with
+// errors.Is. The checkpoint file holds all completed work.
+var ErrRoutingPaused = routing.ErrPaused
+
+// VerifyRoutingTheoremCheckpointed is VerifyRoutingTheoremParallel with
+// sharded crash-safe persistence: completed shards are merged into the
+// checkpoint file as the run proceeds, and a run resumed from that file
+// skips them, producing final stats bit-identical to an uninterrupted
+// run at any worker count.
+func VerifyRoutingTheoremCheckpointed(alg *Algorithm, k, workers int, cfg RoutingCheckpointConfig) (RoutingStats, error) {
+	g, err := cdag.New(alg, k)
+	if err != nil {
+		return RoutingStats{}, err
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		return RoutingStats{}, err
+	}
+	return r.VerifyFullRoutingCheckpointed(workers, cfg)
 }
 
 // MulFastParallel is MulFast with the top-level subproducts computed
