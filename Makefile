@@ -2,8 +2,9 @@
 # over the concurrent verification engine.
 GO ?= go
 RESUME_DIR ?= .verify-resume
+OBS_DIR ?= .obs-smoke
 
-.PHONY: verify build test vet race bench-routing bench verify-resume
+.PHONY: verify build test vet race bench-routing bench verify-resume obs-smoke
 
 verify: vet test race
 
@@ -27,31 +28,65 @@ bench-routing:
 
 # Machine-readable routing benchmark results (paths/s next to ns/op),
 # via the stdlib-only converter in cmd/benchjson — no jq required.
+# Single shell + trap so the intermediate .out is removed even when the
+# bench or the converter fails.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x . > bench_routing.out
+	@set -e; trap 'rm -f bench_routing.out' EXIT; \
+	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x . > bench_routing.out; \
 	$(GO) run ./cmd/benchjson -o BENCH_routing.json < bench_routing.out
-	@rm -f bench_routing.out
 
 # End-to-end checkpoint/resume acceptance check: pause a Strassen k=4
 # verification after 3 of 8 shards, resume it at a different worker
 # count, and require the final stats line to be byte-identical to an
 # uninterrupted run. Exit code 3 is the verifier's "paused, rerun with
-# -resume" signal.
+# -resume" signal. Single shell + trap so the scratch dir is removed
+# even when a step fails.
 verify-resume:
-	@rm -rf $(RESUME_DIR)
-	@mkdir -p $(RESUME_DIR)
-	$(GO) build -o $(RESUME_DIR)/routecheck ./cmd/routecheck
-	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 3 -shardrows 64 -maxshards 3 \
+	@set -e; trap 'rm -rf $(RESUME_DIR)' EXIT; \
+	rm -rf $(RESUME_DIR); mkdir -p $(RESUME_DIR); \
+	$(GO) build -o $(RESUME_DIR)/routecheck ./cmd/routecheck; \
+	st=0; $(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 3 -shardrows 64 -maxshards 3 \
 		-checkpoint $(RESUME_DIR)/k4.ckpt -journal $(RESUME_DIR)/runs.jsonl \
-		> $(RESUME_DIR)/paused.out; st=$$?; \
-		if [ $$st -ne 3 ]; then echo "expected pause exit 3, got $$st"; exit 1; fi
+		> $(RESUME_DIR)/paused.out || st=$$?; \
+	if [ $$st -ne 3 ]; then echo "expected pause exit 3, got $$st"; exit 1; fi; \
 	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 5 \
 		-checkpoint $(RESUME_DIR)/k4.ckpt -resume -journal $(RESUME_DIR)/runs.jsonl \
-		> $(RESUME_DIR)/resumed.out
-	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 2 > $(RESUME_DIR)/fresh.out
-	grep '^stats:' $(RESUME_DIR)/resumed.out > $(RESUME_DIR)/resumed.stats
-	grep '^stats:' $(RESUME_DIR)/fresh.out > $(RESUME_DIR)/fresh.stats
-	cmp $(RESUME_DIR)/resumed.stats $(RESUME_DIR)/fresh.stats
-	$(RESUME_DIR)/routecheck -summarize $(RESUME_DIR)/runs.jsonl
-	@rm -rf $(RESUME_DIR)
-	@echo "verify-resume: PASS — resumed stats byte-identical to an uninterrupted run"
+		> $(RESUME_DIR)/resumed.out; \
+	$(RESUME_DIR)/routecheck -alg strassen -k 4 -workers 2 > $(RESUME_DIR)/fresh.out; \
+	grep '^stats:' $(RESUME_DIR)/resumed.out > $(RESUME_DIR)/resumed.stats; \
+	grep '^stats:' $(RESUME_DIR)/fresh.out > $(RESUME_DIR)/fresh.stats; \
+	cmp $(RESUME_DIR)/resumed.stats $(RESUME_DIR)/fresh.stats; \
+	$(RESUME_DIR)/routecheck -summarize $(RESUME_DIR)/runs.jsonl; \
+	echo "verify-resume: PASS — resumed stats byte-identical to an uninterrupted run"
+
+# Observability acceptance check: run a real verification with the
+# debug server on an ephemeral port, scrape /metrics and /healthz, and
+# assert the routing metric families and the live progress document are
+# there. -debughold keeps the server up after the (short) run so the
+# scrape cannot race its exit.
+obs-smoke:
+	@set -e; pid=""; trap 'rm -rf $(OBS_DIR); [ -z "$$pid" ] || kill $$pid 2>/dev/null || true' EXIT; \
+	rm -rf $(OBS_DIR); mkdir -p $(OBS_DIR); \
+	$(GO) build -o $(OBS_DIR)/routecheck ./cmd/routecheck; \
+	$(OBS_DIR)/routecheck -alg strassen -k 4 -shardrows 64 \
+		-checkpoint $(OBS_DIR)/k4.ckpt -debugaddr 127.0.0.1:0 -debughold 60s \
+		> $(OBS_DIR)/run.out 2> $(OBS_DIR)/run.err & pid=$$!; \
+	url=""; i=0; while [ $$i -lt 100 ]; do \
+		url=$$(sed -n 's/^debug server listening on //p' $(OBS_DIR)/run.err); \
+		[ -n "$$url" ] && break; i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$url" ]; then echo "obs-smoke: debug server never announced its URL"; cat $(OBS_DIR)/run.err; exit 1; fi; \
+	ok=""; i=0; while [ $$i -lt 100 ]; do \
+		if curl -sf "$$url/healthz" > $(OBS_DIR)/healthz.json 2>/dev/null \
+			&& grep -q '"progress"' $(OBS_DIR)/healthz.json \
+			&& grep -q '"checkpoint_shards"' $(OBS_DIR)/healthz.json; then ok=1; break; fi; \
+		i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$ok" ]; then echo "obs-smoke: /healthz never reported progress + shard coverage"; cat $(OBS_DIR)/healthz.json 2>/dev/null; exit 1; fi; \
+	grep -q '"status": "ok"' $(OBS_DIR)/healthz.json; \
+	curl -sf "$$url/metrics" > $(OBS_DIR)/metrics.txt; \
+	grep -q '^# TYPE routing_paths_verified_total counter' $(OBS_DIR)/metrics.txt; \
+	grep -q '^routing_paths_verified_total ' $(OBS_DIR)/metrics.txt; \
+	grep -q '^routing_paths_per_second ' $(OBS_DIR)/metrics.txt; \
+	grep -q '^# TYPE routing_shard_enumerate_seconds histogram' $(OBS_DIR)/metrics.txt; \
+	grep -q '^routing_shard_enumerate_seconds_bucket{le="+Inf"} ' $(OBS_DIR)/metrics.txt; \
+	curl -sfo /dev/null "$$url/debug/pprof/"; \
+	echo "obs-smoke: PASS — /metrics and /healthz live on $$url"

@@ -16,6 +16,7 @@ import (
 	"pathrouting/internal/cdag"
 	"pathrouting/internal/core"
 	"pathrouting/internal/hall"
+	"pathrouting/internal/obs"
 	"pathrouting/internal/parallel"
 	"pathrouting/internal/pebble"
 	"pathrouting/internal/routing"
@@ -479,7 +480,10 @@ func BenchmarkA6FastCutoff(b *testing.B) {
 
 // BenchmarkA7ParallelVerification compares sequential and concurrent
 // Routing Theorem verification (the check is embarrassingly parallel
-// over inputs).
+// over inputs). The instrumented variant runs the same parallel
+// verification with the full metric bundle attached — its gap to
+// "parallel" is the observability overhead (metric flushes are batched
+// at progress-snapshot cadence, so the gap must stay within noise).
 func BenchmarkA7ParallelVerification(b *testing.B) {
 	g, err := cdag.New(bilinear.Strassen(), 4)
 	if err != nil {
@@ -497,6 +501,15 @@ func BenchmarkA7ParallelVerification(b *testing.B) {
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.VerifyFullRoutingParallel(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-instrumented", func(b *testing.B) {
+		r.Obs = routing.NewInstruments(obs.NewRegistry())
+		defer func() { r.Obs = nil }()
 		for i := 0; i < b.N; i++ {
 			if _, err := r.VerifyFullRoutingParallel(0); err != nil {
 				b.Fatal(err)

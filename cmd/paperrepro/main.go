@@ -8,12 +8,19 @@
 //
 //	paperrepro [-experiment all|E1|...|E12] [-quick] [-dotdir DIR] [-progress]
 //	           [-journal run.jsonl] [-checkpointdir DIR] [-resume]
+//	           [-debugaddr :8080] [-heartbeat 30s]
 //
 // With -checkpointdir, the heavy E3 routing verifications run through
 // the sharded checkpoint engine, persisting per-case checkpoint files
 // there; re-running with -resume skips completed shards. -journal
 // appends structured JSONL records (see internal/runlog) for the E3
 // runs, summarizable with `routecheck -summarize`.
+//
+// With -debugaddr, a debug HTTP server exposes Prometheus-format
+// /metrics (routing and pebble instrument families), a JSON /healthz
+// with the latest per-experiment progress, and /debug/pprof. With
+// -journal, -heartbeat emits heartbeat records carrying the metrics
+// snapshot at that interval.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/bounds"
@@ -35,6 +43,7 @@ import (
 	"pathrouting/internal/core"
 	"pathrouting/internal/expansion"
 	"pathrouting/internal/hall"
+	"pathrouting/internal/obs"
 	"pathrouting/internal/parallel"
 	"pathrouting/internal/pebble"
 	"pathrouting/internal/routing"
@@ -52,7 +61,51 @@ var (
 	journal    = flag.String("journal", "", "append JSONL run records for the E3 verifications to this file")
 	ckptDir    = flag.String("checkpointdir", "", "run E3 verifications through per-case checkpoint files in this directory")
 	resume     = flag.Bool("resume", false, "with -checkpointdir: skip shards already completed in existing checkpoints")
+	debugAddr  = flag.String("debugaddr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+	heartbeat  = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
 )
+
+// obsReg collects every instrument family of the process; it backs both
+// the -debugaddr /metrics endpoint and the -journal heartbeats.
+var obsReg = obs.NewRegistry()
+
+// pebbleIn instruments the pebble-game simulators of E1/E7/E11
+// (initialized in main, after the registry exists for sure).
+var pebbleIn *pebble.Instruments
+
+// healthProg holds the latest Progress per experiment tag for /healthz.
+var (
+	healthMu   sync.Mutex
+	healthProg = map[string]routing.Progress{}
+)
+
+func healthDoc() any {
+	type progDoc struct {
+		Tag   string `json:"tag"`
+		Done  int64  `json:"done_paths"`
+		Total int64  `json:"total_paths"`
+		Peak  int64  `json:"peak_vertex_hits"`
+		Final bool   `json:"final"`
+	}
+	doc := struct {
+		Status     string    `json:"status"`
+		Experiment string    `json:"experiment"`
+		Progress   []progDoc `json:"progress,omitempty"`
+	}{Status: "ok", Experiment: *experiment}
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	tags := make([]string, 0, len(healthProg))
+	for tag := range healthProg {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		p := healthProg[tag]
+		doc.Progress = append(doc.Progress, progDoc{Tag: tag,
+			Done: p.Done, Total: p.Total, Peak: p.PeakVertexHits, Final: p.Final})
+	}
+	return doc
+}
 
 // journalWriter is the shared (possibly nil — nil is a valid no-op
 // sink) run journal, opened lazily on first use.
@@ -76,14 +129,21 @@ func journalWriter() *runlog.Writer {
 	return journalW
 }
 
-// progressPrinter returns a concurrency-safe routing.Progress callback,
-// or nil when -progress is unset.
+// progressPrinter returns a concurrency-safe routing.Progress callback
+// feeding /healthz (and stderr with -progress), or nil when neither
+// consumer is active.
 func progressPrinter(tag string) func(routing.Progress) {
-	if !*progress {
+	if !*progress && *debugAddr == "" {
 		return nil
 	}
 	var mu sync.Mutex
 	return func(p routing.Progress) {
+		healthMu.Lock()
+		healthProg[tag] = p
+		healthMu.Unlock()
+		if !*progress {
+			return
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		state := "…"
@@ -132,6 +192,20 @@ func csvOut(name string, header []string, rows [][]string) {
 func main() {
 	flag.Parse()
 	defer func() { journalW.Close() }() // nil-safe; only non-nil once e3 opened it
+	pebbleIn = pebble.NewInstruments(obsReg)
+	if *debugAddr != "" {
+		srv, err := obs.StartServer(*debugAddr, obsReg, healthDoc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", srv.URL())
+	}
+	if jw := journalWriter(); jw != nil && *heartbeat > 0 {
+		stop := obs.StartHeartbeat(jw, runlog.Record{Tool: "paperrepro"}, obsReg, *heartbeat)
+		defer stop()
+	}
 	runs := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
@@ -206,8 +280,8 @@ func e1() {
 		for r := 2; r <= rMax; r++ {
 			g := mustGraph(c.alg, r)
 			sched := schedule.RecursiveDFS(g)
-			minIO := must((&pebble.Simulator{G: g, M: c.m, P: pebble.MIN}).Run(sched)).IO()
-			lruIO := must((&pebble.Simulator{G: g, M: c.m, P: pebble.LRU}).Run(sched)).IO()
+			minIO := must((&pebble.Simulator{G: g, M: c.m, P: pebble.MIN, Obs: pebbleIn}).Run(sched)).IO()
+			lruIO := must((&pebble.Simulator{G: g, M: c.m, P: pebble.LRU, Obs: pebbleIn}).Run(sched)).IO()
 			n := math.Pow(float64(c.alg.N0), float64(r))
 			lb := bounds.Theorem1Sequential(c.alg.Omega0(), n, float64(c.m))
 			fmt.Printf("%-16s %-3d %-5d %-10d %-10d %-12.0f %-8.2f\n",
@@ -303,6 +377,8 @@ func e3() {
 		r := must(routing.NewRouter(g))
 		r.Progress = progressPrinter(fmt.Sprintf("E3 %s k=%d", c.alg.Name, c.k))
 		jw := journalWriter()
+		r.Obs = routing.NewInstruments(obsReg)
+		r.Obs.Tracer = obs.NewTracer(jw, runlog.Record{Tool: "paperrepro", Alg: c.alg.Name, K: c.k})
 		emit := func(rec runlog.Record) {
 			rec.Tool, rec.Alg, rec.K = "paperrepro", c.alg.Name, c.k
 			if err := jw.Emit(rec); err != nil {
@@ -459,7 +535,7 @@ func e7() {
 		g7 := mustGraph(bilinear.Strassen(), 7)
 		sched := schedule.RecursiveDFS(g7)
 		cert := must(core.Certify(g7, sched, core.Options{K: 5, M: 14}))
-		measured := must((&pebble.Simulator{G: g7, M: 14, P: pebble.MIN}).Run(sched))
+		measured := must((&pebble.Simulator{G: g7, M: 14, P: pebble.MIN, Obs: pebbleIn}).Run(sched))
 		fmt.Printf("  segments=%d certified IO≥%d measured IO=%d closed-form=%d minRatio=%.3f\n",
 			cert.CompleteSegments, cert.CertifiedIO, measured.IO(),
 			bounds.ProofSequential(bilinear.Strassen(), 7, 14), cert.MinDeltaRatio)
@@ -603,8 +679,8 @@ func e11() {
 		m := 24
 		gc := mustGraph(bilinear.Classical(2), r)
 		gs := mustGraph(bilinear.Strassen(), r)
-		ioC := must((&pebble.Simulator{G: gc, M: m, P: pebble.MIN}).Run(schedule.RecursiveDFS(gc))).IO()
-		ioS := must((&pebble.Simulator{G: gs, M: m, P: pebble.MIN}).Run(schedule.RecursiveDFS(gs))).IO()
+		ioC := must((&pebble.Simulator{G: gc, M: m, P: pebble.MIN, Obs: pebbleIn}).Run(schedule.RecursiveDFS(gc))).IO()
+		ioS := must((&pebble.Simulator{G: gs, M: m, P: pebble.MIN, Obs: pebbleIn}).Run(schedule.RecursiveDFS(gs))).IO()
 		winner := "classical"
 		if ioS < ioC {
 			winner = "strassen"

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	pebblesim [-alg strassen] [-r 5] [-m 64] [-policy min] [-schedule dfs]
+//	          [-debugaddr :8080] [-debughold 0]
 //	pebblesim -sweep   # sweep M for the chosen graph and schedule
+//
+// With -debugaddr, a debug HTTP server exposes Prometheus-format
+// /metrics (per-segment I/O histogram, read/write totals) and
+// /debug/pprof; -debughold keeps it up after the run for scraping.
 package main
 
 import (
@@ -15,10 +20,12 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/bounds"
 	"pathrouting/internal/cdag"
+	"pathrouting/internal/obs"
 	"pathrouting/internal/pebble"
 	"pathrouting/internal/schedule"
 )
@@ -31,6 +38,8 @@ var (
 	schedKind = flag.String("schedule", "dfs", "schedule: dfs, rank, random")
 	sweep     = flag.Bool("sweep", false, "sweep cache sizes")
 	seed      = flag.Int64("seed", 1, "seed for the random schedule")
+	debugAddr = flag.String("debugaddr", "", "serve /metrics and /debug/pprof on this address (e.g. :8080)")
+	debugHold = flag.Duration("debughold", 0, "with -debugaddr: keep the debug server up this long after the run")
 )
 
 func fail(err error) {
@@ -79,6 +88,23 @@ func main() {
 		fail(fmt.Errorf("unknown policy %q", *policy))
 	}
 
+	reg := obs.NewRegistry()
+	in := pebble.NewInstruments(reg)
+	if *debugAddr != "" {
+		srv, err := obs.StartServer(*debugAddr, reg, nil)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", srv.URL())
+		if *debugHold > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "debug server held for %v\n", *debugHold)
+				time.Sleep(*debugHold)
+			}()
+		}
+	}
+
 	n := math.Pow(float64(alg.N0), float64(*r))
 	fmt.Printf("%s G_%d: %d vertices, n = %.0f, schedule %s, policy %s\n",
 		alg.Name, *r, g.NumVertices(), n, *schedKind, *policy)
@@ -92,7 +118,7 @@ func main() {
 		}
 	}
 	for _, mm := range ms {
-		res, err := (&pebble.Simulator{G: g, M: mm, P: pol}).Run(sched)
+		res, err := (&pebble.Simulator{G: g, M: mm, P: pol, Obs: in}).Run(sched)
 		if err != nil {
 			fmt.Printf("%-8d %v\n", mm, err)
 			continue

@@ -7,7 +7,8 @@
 //	routecheck [-alg strassen] [-k 3] [-which full|chains|decoding]
 //	           [-workers 0] [-progress] [-adjstride 0]
 //	           [-checkpoint run.ckpt] [-resume] [-shardrows 0] [-maxshards 0]
-//	           [-journal run.jsonl]
+//	           [-journal run.jsonl] [-debugaddr :8080] [-debughold 0]
+//	           [-heartbeat 30s]
 //	routecheck -summarize run.jsonl
 //
 // With -checkpoint, the full routing persists completed shards to the
@@ -16,6 +17,13 @@
 // stops after N new shards (exit code 3) to time-box long runs.
 // -journal appends structured JSONL records (see internal/runlog);
 // -summarize aggregates such a journal and exits.
+//
+// With -debugaddr, a debug HTTP server exposes Prometheus-format
+// /metrics, a JSON /healthz (latest per-worker progress and checkpoint
+// shard coverage), and /debug/pprof; the bound address is printed to
+// stderr. -debughold keeps the server up after the run so one-shot
+// runs can still be scraped. With -journal, -heartbeat emits a
+// heartbeat record carrying the metrics snapshot at that interval.
 package main
 
 import (
@@ -25,9 +33,11 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
+	"pathrouting/internal/obs"
 	"pathrouting/internal/routing"
 	"pathrouting/internal/runlog"
 )
@@ -45,7 +55,107 @@ var (
 	maxShards  = flag.Int64("maxshards", 0, "with -checkpoint: stop after N new shards, exit 3 (0 = run to completion)")
 	journal    = flag.String("journal", "", "append JSONL run records to this file")
 	summarize  = flag.String("summarize", "", "summarize a JSONL journal and exit")
+	debugAddr  = flag.String("debugaddr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+	debugHold  = flag.Duration("debughold", 0, "with -debugaddr: keep the debug server up this long after the run")
+	heartbeat  = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
 )
+
+// debugSrv is the optional debug HTTP server (nil without -debugaddr).
+var debugSrv *obs.Server
+
+// health aggregates the live run state served by /healthz.
+var health = &healthState{workers: map[int]routing.Progress{}}
+
+type healthState struct {
+	mu      sync.Mutex
+	workers map[int]routing.Progress
+	shards  *routing.ShardDone
+}
+
+func (h *healthState) onProgress(p routing.Progress) {
+	h.mu.Lock()
+	h.workers[p.Worker] = p
+	h.mu.Unlock()
+}
+
+func (h *healthState) onShard(d routing.ShardDone) {
+	h.mu.Lock()
+	h.shards = &d
+	h.mu.Unlock()
+}
+
+// snapshot renders the current run state as the /healthz document.
+func (h *healthState) snapshot() any {
+	type workerDoc struct {
+		Worker  int   `json:"worker"`
+		Workers int   `json:"workers"`
+		Done    int64 `json:"done_paths"`
+		Total   int64 `json:"total_paths"`
+		Peak    int64 `json:"peak_vertex_hits"`
+		Final   bool  `json:"final"`
+	}
+	type shardDoc struct {
+		Done  int64 `json:"done"`
+		Total int64 `json:"total"`
+		Last  int64 `json:"last_shard"`
+	}
+	doc := struct {
+		Status  string      `json:"status"`
+		Alg     string      `json:"alg"`
+		K       int         `json:"k"`
+		Which   string      `json:"which"`
+		Workers []workerDoc `json:"progress,omitempty"`
+		Shards  *shardDoc   `json:"checkpoint_shards,omitempty"`
+	}{Status: "ok", Alg: *algName, K: *k, Which: *which}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ids := make([]int, 0, len(h.workers))
+	for w := range h.workers {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	for _, w := range ids {
+		p := h.workers[w]
+		doc.Workers = append(doc.Workers, workerDoc{Worker: p.Worker, Workers: p.Workers,
+			Done: p.Done, Total: p.Total, Peak: p.PeakVertexHits, Final: p.Final})
+	}
+	if h.shards != nil {
+		doc.Shards = &shardDoc{Done: h.shards.Done, Total: h.shards.Total, Last: h.shards.Shard}
+	}
+	return doc
+}
+
+// chainProgress fans one Progress callback out to several consumers
+// (stderr printer, /healthz state); nil entries are dropped and an
+// all-nil chain collapses to nil so the hot path skips emission.
+func chainProgress(cbs ...func(routing.Progress)) func(routing.Progress) {
+	live := cbs[:0]
+	for _, cb := range cbs {
+		if cb != nil {
+			live = append(live, cb)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(p routing.Progress) {
+		for _, cb := range live {
+			cb(p)
+		}
+	}
+}
+
+// holdDebug parks the process so the debug server outlives a short run
+// long enough to be scraped (make obs-smoke relies on this).
+func holdDebug() {
+	if debugSrv != nil && *debugHold > 0 {
+		fmt.Fprintf(os.Stderr, "debug server held for %v\n", *debugHold)
+		time.Sleep(*debugHold)
+	}
+}
 
 // exitPaused signals an intentionally incomplete checkpointed run,
 // distinguishable from verification failure (1) in scripts.
@@ -96,6 +206,21 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		debugSrv, err = obs.StartServer(*debugAddr, reg, health.snapshot)
+		if err != nil {
+			fail(err)
+		}
+		defer debugSrv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", debugSrv.URL())
+	}
+	if jw != nil && *heartbeat > 0 {
+		stop := obs.StartHeartbeat(jw, base, reg, *heartbeat)
+		defer stop()
+	}
+	defer holdDebug()
+
 	var st routing.Stats
 	switch *which {
 	case "full":
@@ -104,9 +229,13 @@ func main() {
 			fail(err)
 		}
 		r.AdjacencySampleStride = *adjStride
+		r.Obs = routing.NewInstruments(reg)
+		r.Obs.Tracer = obs.NewTracer(jw, base)
+		var printer func(routing.Progress)
 		if *progress {
-			r.Progress = progressPrinter()
+			printer = progressPrinter()
 		}
+		r.Progress = chainProgress(printer, health.onProgress)
 		if *checkpoint != "" {
 			runCheckpointed(r, alg, emit)
 			return
@@ -165,6 +294,7 @@ func runCheckpointed(r *routing.Router, alg *bilinear.Algorithm, emit func(runlo
 		MaxShards: *maxShards,
 		Resume:    *resume,
 		OnShard: func(d routing.ShardDone) {
+			health.onShard(d)
 			emit(runlog.Record{Event: runlog.EventShardDone,
 				Shard: d.Shard, ShardsDone: d.Done, ShardsTotal: d.Total, ShardPaths: d.Paths})
 			if *progress {
@@ -184,6 +314,7 @@ func runCheckpointed(r *routing.Router, alg *bilinear.Algorithm, emit func(runlo
 		emit(finalRecord(st, *resume, true))
 		fmt.Printf("PAUSED: %v\n", err)
 		fmt.Printf("rerun with -resume to continue; partial stats: %s\n", st)
+		holdDebug() // os.Exit skips the deferred hold
 		os.Exit(exitPaused)
 	default:
 		emit(runlog.Record{Event: runlog.EventViolation, Error: err.Error()})

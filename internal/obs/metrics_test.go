@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionFormat checks the Prometheus text rendering of all
+// three metric kinds, including sorting, HELP/TYPE headers, cumulative
+// buckets, and the +Inf bucket.
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("paths_total", "paths verified")
+	c.Add(41)
+	c.Inc()
+	g := reg.Gauge("paths_per_second", "throughput")
+	g.Set(2.5)
+	h := reg.Histogram("shard_seconds", "shard latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	n, err := reg.WriteTo(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n != int64(len(out)) {
+		t.Fatalf("WriteTo returned %d, wrote %d bytes", n, len(out))
+	}
+	for _, want := range []string{
+		"# HELP paths_total paths verified\n# TYPE paths_total counter\npaths_total 42\n",
+		"# TYPE paths_per_second gauge\npaths_per_second 2.5\n",
+		"# TYPE shard_seconds histogram\n",
+		"shard_seconds_bucket{le=\"0.1\"} 2\n",
+		"shard_seconds_bucket{le=\"1\"} 3\n",
+		"shard_seconds_bucket{le=\"+Inf\"} 4\n",
+		"shard_seconds_sum 10.6\n",
+		"shard_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name: gauge < counter alphabetically here.
+	if strings.Index(out, "paths_per_second") > strings.Index(out, "paths_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+// TestRegistryIdempotentAndNilSafe: re-registration returns the same
+// instrument; nil instruments absorb every call.
+func TestRegistryIdempotentAndNilSafe(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("c", "x") != reg.Counter("c", "x") {
+		t.Fatal("re-registered counter is a different instance")
+	}
+	if reg.Histogram("h", "x", []float64{1}) != reg.Histogram("h", "x", []float64{2}) {
+		t.Fatal("re-registered histogram is a different instance")
+	}
+
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Max(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported nonzero values")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("c", "now a gauge")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	NewRegistry().Counter("bad name!", "")
+}
+
+// TestGaugeMaxConcurrent: the peak tracker never loses the largest
+// value under contention.
+func TestGaugeMaxConcurrent(t *testing.T) {
+	g := NewRegistry().Gauge("peak", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Max(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Value() != 7999 {
+		t.Fatalf("peak = %v, want 7999", g.Value())
+	}
+	g.Max(5) // lower value must not regress the peak
+	if g.Value() != 7999 {
+		t.Fatalf("Max regressed the peak to %v", g.Value())
+	}
+}
+
+// TestHistogramConcurrent: counts and sum stay exact under concurrent
+// observation.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", LatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || math.Abs(h.Sum()-2000) > 1e-6 {
+		t.Fatalf("count=%d sum=%v, want 8000/2000", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "").Add(3)
+	reg.Gauge("g", "").Set(1.5)
+	h := reg.Histogram("h", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	snap := reg.Snapshot()
+	want := map[string]float64{"c": 3, "g": 1.5, "h_count": 2, "h_sum": 2.5}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %v, want %v", k, snap[k], v)
+		}
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// TestServerEndpoints starts a real server on :0 and exercises
+// /metrics, /healthz, and /debug/pprof/.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("routing_paths_verified_total", "paths").Add(7)
+	reg.Histogram("routing_shard_enumerate_seconds", "lat", LatencyBuckets).Observe(0.01)
+	health := func() any {
+		return map[string]any{"status": "verifying", "shards_done": 3, "shards_total": 8}
+	}
+	srv, err := StartServer("127.0.0.1:0", reg, health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", srv.URL())
+	}
+
+	body, ctype := get(t, srv.URL()+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE routing_paths_verified_total counter",
+		"routing_paths_verified_total 7",
+		"# TYPE routing_shard_enumerate_seconds histogram",
+		"routing_shard_enumerate_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get(t, srv.URL()+"/healthz")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("healthz content type = %q", ctype)
+	}
+	for _, want := range []string{`"status": "verifying"`, `"shards_done": 3`, `"shards_total": 8`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/healthz missing %q:\n%s", want, body)
+		}
+	}
+
+	body, _ = get(t, srv.URL()+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}
+
+// TestServerNilHealth: healthz must still answer without a provider.
+func TestServerNilHealth(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, _ := get(t, srv.URL()+"/healthz")
+	if !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("healthz = %s", body)
+	}
+
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.URL() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil server methods not safe")
+	}
+}

@@ -1,0 +1,35 @@
+package pebble
+
+// Observability for the pebble-game simulator: the paper's segment
+// argument charges each schedule segment at least |δ'(S')| − 2M I/O,
+// so the natural live metric is the I/O each segment actually pays.
+// Attaching Instruments to a Simulator buckets per-segment I/O into a
+// histogram (segments of SegmentLen computations; default M, the
+// scale the paper's segments are sized by) and totals reads/writes.
+
+import "pathrouting/internal/obs"
+
+// Instruments is the optional metric bundle of a Simulator. Nil (the
+// default) costs one pointer test per computed vertex.
+type Instruments struct {
+	// Reads and Writes accumulate the simulator's I/O totals across
+	// runs sharing the bundle.
+	Reads, Writes *obs.Counter
+	// SegmentIO buckets the I/O paid by each SegmentLen-computation
+	// schedule segment.
+	SegmentIO *obs.Histogram
+	// SegmentLen is the segment size in computed vertices; 0 means
+	// the simulator's cache size M.
+	SegmentLen int
+}
+
+// NewInstruments registers the simulator's metric families on reg.
+func NewInstruments(reg *obs.Registry) *Instruments {
+	return &Instruments{
+		Reads:  reg.Counter("pebble_reads_total", "values loaded from slow memory"),
+		Writes: reg.Counter("pebble_writes_total", "values written back to slow memory"),
+		SegmentIO: reg.Histogram("pebble_segment_io",
+			"I/O paid per schedule segment (SegmentLen computations, default M)",
+			obs.ExponentialBuckets(1, 4, 12)),
+	}
+}

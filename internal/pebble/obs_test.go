@@ -1,0 +1,74 @@
+package pebble
+
+import (
+	"testing"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/obs"
+	"pathrouting/internal/schedule"
+)
+
+func TestInstrumentsSegmentAccounting(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	reg := obs.NewRegistry()
+	in := NewInstruments(reg)
+	sim := &Simulator{G: g, M: 16, P: MIN, Obs: in}
+	sched := schedule.RecursiveDFS(g)
+	res, err := sim.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["pebble_reads_total"]; got != float64(res.Reads) {
+		t.Errorf("pebble_reads_total = %v, want %d", got, res.Reads)
+	}
+	if got := snap["pebble_writes_total"]; got != float64(res.Writes) {
+		t.Errorf("pebble_writes_total = %v, want %d", got, res.Writes)
+	}
+	// Segments of M=16 computations: ⌈len/16⌉ observations, and the
+	// per-segment I/O sums back to the run's total I/O.
+	wantSegs := float64((len(sched) + 15) / 16)
+	if got := snap["pebble_segment_io_count"]; got != wantSegs {
+		t.Errorf("pebble_segment_io_count = %v, want %v", got, wantSegs)
+	}
+	if got := snap["pebble_segment_io_sum"]; got != float64(res.IO()) {
+		t.Errorf("pebble_segment_io_sum = %v, want total I/O %d", got, res.IO())
+	}
+}
+
+func TestInstrumentsCustomSegmentLen(t *testing.T) {
+	g := mustGraph(t, bilinear.Strassen(), 1)
+	reg := obs.NewRegistry()
+	in := NewInstruments(reg)
+	in.SegmentLen = 7
+	sim := &Simulator{G: g, M: 8, P: MIN, Obs: in}
+	sched := schedule.RecursiveDFS(g)
+	if _, err := sim.Run(sched); err != nil {
+		t.Fatal(err)
+	}
+	wantSegs := float64((len(sched) + 6) / 7)
+	if got := reg.Snapshot()["pebble_segment_io_count"]; got != wantSegs {
+		t.Errorf("pebble_segment_io_count = %v, want %v", got, wantSegs)
+	}
+}
+
+func TestNilInstrumentsRunsClean(t *testing.T) {
+	// Result with and without Obs must be identical: instrumentation
+	// only observes, never steers.
+	g := mustGraph(t, bilinear.Strassen(), 2)
+	sched := schedule.RecursiveDFS(g)
+	plain := &Simulator{G: g, M: 24, P: MIN}
+	want, err := plain.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsSim := &Simulator{G: g, M: 24, P: MIN, Obs: NewInstruments(obs.NewRegistry())}
+	got, err := obsSim.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("instrumented result %+v != plain %+v", got, want)
+	}
+}

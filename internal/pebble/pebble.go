@@ -78,6 +78,9 @@ type Simulator struct {
 	G *cdag.Graph
 	M int
 	P Policy
+	// Obs, when non-nil, receives per-segment I/O observations and
+	// read/write totals (see Instruments).
+	Obs *Instruments
 }
 
 // state tracks one cache-resident value.
@@ -270,6 +273,15 @@ func (s *Simulator) Run(schedule []cdag.V) (Result, error) {
 		return nil
 	}
 
+	segLen := 0
+	if s.Obs != nil {
+		if segLen = s.Obs.SegmentLen; segLen <= 0 {
+			segLen = s.M
+		}
+	}
+	var segStartIO int64
+	computedInSeg := 0
+
 	computed := make([]bool, n)
 	for pos, v := range schedule {
 		if g.IsInput(v) {
@@ -325,6 +337,13 @@ func (s *Simulator) Run(schedule []cdag.V) (Result, error) {
 			res.Writes++
 			st[v].inSlow = true
 		}
+		if segLen > 0 {
+			if computedInSeg++; computedInSeg >= segLen {
+				s.Obs.SegmentIO.Observe(float64(res.IO() - segStartIO))
+				segStartIO = res.IO()
+				computedInSeg = 0
+			}
+		}
 		if st[v].nextUse == never && !g.IsOutput(v) {
 			// Useless vertex (cannot happen in G_r, but keep the cache
 			// tidy if it does): drop immediately.
@@ -339,6 +358,13 @@ func (s *Simulator) Run(schedule []cdag.V) (Result, error) {
 		if g.IsOutput(cdag.V(v)) && !computed[v] {
 			return res, fmt.Errorf("pebble: schedule never computes output %s", g.Label(cdag.V(v)))
 		}
+	}
+	if in := s.Obs; in != nil {
+		if computedInSeg > 0 {
+			in.SegmentIO.Observe(float64(res.IO() - segStartIO))
+		}
+		in.Reads.Add(res.Reads)
+		in.Writes.Add(res.Writes)
 	}
 	return res, nil
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,9 +206,12 @@ func (c *Checkpoint) stats(r *Router, start time.Time) Stats {
 }
 
 // save atomically persists the checkpoint: encode to Path+".tmp", fsync,
-// then rename over Path.
-func (c *Checkpoint) save(path string) error {
+// then rename over Path. The two durability halves land in separate
+// latency histograms when instrumented: encode+fsync scales with the
+// hit-vector size, rename with filesystem metadata latency.
+func (c *Checkpoint) save(path string, in *Instruments) error {
 	tmp := path + ".tmp"
+	start := time.Now()
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("routing: checkpoint: %w", err)
@@ -226,9 +230,16 @@ func (c *Checkpoint) save(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("routing: checkpoint close: %w", err)
 	}
+	if in != nil {
+		in.CheckpointFsync.ObserveSince(start)
+	}
+	renameStart := time.Now()
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("routing: checkpoint rename: %w", err)
+	}
+	if in != nil {
+		in.CheckpointRename.ObserveSince(renameStart)
 	}
 	return nil
 }
@@ -261,6 +272,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // ErrPaused and the Stats cover the completed shards only.
 func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig) (Stats, error) {
 	start := time.Now()
+	r.Obs.noteStart(start)
 	if cfg.Path == "" {
 		return Stats{}, errors.New("routing: CheckpointConfig.Path is required")
 	}
@@ -292,6 +304,9 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 		return Stats{}, err
 	}
 
+	if in := r.Obs; in != nil && cp.DoneCount > 0 {
+		in.ShardsSkipped.Add(cp.DoneCount)
+	}
 	pending := make([]int64, 0, plan.numShards-cp.DoneCount)
 	for s := int64(0); s < plan.numShards; s++ {
 		if !cp.Done[s] {
@@ -349,7 +364,11 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 					return
 				}
 				var ws workerState
-				r.scanRows(w, workers, rowLo, rowHi, &earliestErr, &ws)
+				span := r.Obs.startSpan("shard_enumerate")
+				span.SetAttr("shard", strconv.FormatInt(shard, 10))
+				r.scanRange(w, workers, rowLo, rowHi, &earliestErr, &ws)
+				span.SetAttr("paths", strconv.FormatInt(ws.numPaths, 10))
+				span.End()
 				mu.Lock()
 				if ws.err != nil {
 					// Failed shards stay pending; completed ones keep
@@ -360,16 +379,25 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 					mu.Unlock()
 					continue
 				}
+				mergeSpan := r.Obs.startSpan("shard_merge")
+				mergeSpan.SetAttr("shard", strconv.FormatInt(shard, 10))
 				cp.mergeShard(shard, &ws)
+				mergeSpan.End()
+				if in := r.Obs; in != nil {
+					in.ShardsDone.Inc()
+				}
 				if cfg.OnShard != nil {
 					cfg.OnShard(ShardDone{Shard: shard, Rows: rowHi - rowLo,
 						Paths: ws.numPaths, Done: cp.DoneCount, Total: plan.numShards})
 				}
 				sinceFlush++
 				if sinceFlush >= flushEvery {
-					if err := cp.save(cfg.Path); err != nil && saveErr == nil {
+					persistSpan := r.Obs.startSpan("checkpoint_persist")
+					persistSpan.SetAttr("shards_done", strconv.FormatInt(cp.DoneCount, 10))
+					if err := cp.save(cfg.Path, r.Obs); err != nil && saveErr == nil {
 						saveErr = err
 					}
+					persistSpan.End()
 					sinceFlush = 0
 				}
 				mu.Unlock()
@@ -379,9 +407,12 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 	wg.Wait()
 
 	if sinceFlush > 0 {
-		if err := cp.save(cfg.Path); err != nil && saveErr == nil {
+		persistSpan := r.Obs.startSpan("checkpoint_persist")
+		persistSpan.SetAttr("shards_done", strconv.FormatInt(cp.DoneCount, 10))
+		if err := cp.save(cfg.Path, r.Obs); err != nil && saveErr == nil {
 			saveErr = err
 		}
+		persistSpan.End()
 	}
 	st := cp.stats(r, start)
 	switch {

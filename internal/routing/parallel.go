@@ -41,8 +41,16 @@ const (
 	// sample guards the composition itself).
 	defaultAdjacencyStride = 257
 	// progressChunk is how many paths a worker enumerates between
-	// Progress snapshots.
+	// Progress snapshots (and batched metric flushes).
 	progressChunk = 1 << 15
+	// progressTimeFloor caps the wall time between snapshots: a worker
+	// far below progressChunk paths/s (deep k, slow disk, contended
+	// box) still reports at least this often.
+	progressTimeFloor = time.Second
+	// progressClockMask rate-limits the wall-clock reads backing the
+	// time floor to every (mask+1) paths, keeping time.Now off the
+	// per-path fast path.
+	progressClockMask = 1<<10 - 1
 )
 
 // VerifyFullRoutingParallel is VerifyFullRouting distributed over
@@ -126,14 +134,27 @@ func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomi
 	out.metaHits = make(map[cdag.V]int64)
 	out.errPos = math.MaxInt64
 	total := (rowHi - rowLo) * aK
+	observing := r.Progress != nil || r.Obs != nil
+	// Snapshot cadence: a monotonic per-worker "next threshold" (immune
+	// to counts stepping past a modulo boundary) with a wall-time floor
+	// so slow shards still report.
+	nextEmit := int64(progressChunk)
+	var lastEmit time.Time
+	var flushedPaths, flushedAdj int64
 	emit := func(final bool) {
-		if r.Progress == nil {
-			return
+		r.Obs.flushScan(out.numPaths-flushedPaths, out.adjChecked-flushedAdj, out.peak)
+		flushedPaths, flushedAdj = out.numPaths, out.adjChecked
+		nextEmit = out.numPaths + progressChunk
+		lastEmit = time.Now()
+		if r.Progress != nil {
+			r.Progress(Progress{Worker: w, Workers: workers, Done: out.numPaths,
+				Total: total, PeakVertexHits: out.peak, Final: final})
 		}
-		r.Progress(Progress{Worker: w, Workers: workers, Done: out.numPaths,
-			Total: total, PeakVertexHits: out.peak, Final: final})
 	}
-	defer emit(true)
+	if observing {
+		lastEmit = time.Now()
+		defer emit(true)
+	}
 
 	var buf []cdag.V
 	roots := make(map[cdag.V]struct{}, 16)
@@ -182,17 +203,30 @@ func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomi
 			for root := range roots {
 				out.metaHits[root]++
 			}
-			if r.Progress != nil && out.numPaths%progressChunk == 0 {
+			if observing && (out.numPaths >= nextEmit ||
+				(out.numPaths&progressClockMask == 0 && time.Since(lastEmit) >= progressTimeFloor)) {
 				emit(false)
 			}
 		}
 	}
 }
 
+// scanRange is scanRows plus per-range observability: the enumeration
+// latency lands in the shard-enumerate histogram (a plain worker's row
+// range is the unit checkpoint shards are made of, so one histogram
+// serves both engines).
+func (r *Router) scanRange(w, workers int, rowLo, rowHi int64, earliestErr *atomic.Int64, out *workerState) {
+	if in := r.Obs; in != nil {
+		defer in.ShardEnumerate.ObserveSince(time.Now())
+	}
+	r.scanRows(w, workers, rowLo, rowHi, earliestErr, out)
+}
+
 // verifyFullRouting is the engine behind VerifyFullRouting (workers=1)
 // and VerifyFullRoutingParallel.
 func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 	start := time.Now()
+	r.Obs.noteStart(start)
 	rows := r.numRows()
 	if int64(workers) > rows {
 		workers = int(rows) // at most one row per worker
@@ -207,7 +241,7 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 	var earliestErr atomic.Int64
 	earliestErr.Store(math.MaxInt64)
 	if workers == 1 {
-		r.scanRows(0, 1, 0, rows, &earliestErr, &outs[0])
+		r.scanRange(0, 1, 0, rows, &earliestErr, &outs[0])
 	} else {
 		// Overflow-safe row partition: |slice| ∈ {⌊rows/W⌋, ⌈rows/W⌉},
 		// never forming the product rows·w.
@@ -222,7 +256,7 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 			wg.Add(1)
 			go func(w int, lo, hi int64) {
 				defer wg.Done()
-				r.scanRows(w, workers, lo, hi, &earliestErr, &outs[w])
+				r.scanRange(w, workers, lo, hi, &earliestErr, &outs[w])
 			}(w, lo, hi)
 			lo = hi
 		}
@@ -252,6 +286,8 @@ func (r *Router) finalizeFullRouting(start time.Time, outs []workerState) (Stats
 		st.Elapsed = time.Since(start)
 		return st, firstErr
 	}
+	span := r.Obs.startSpan("merge")
+	defer span.End()
 	hits := outs[0].hits
 	metaHits := outs[0].metaHits
 	for i := 1; i < len(outs); i++ {

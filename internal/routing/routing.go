@@ -187,6 +187,11 @@ type Router struct {
 	// VerifyFullRouting and VerifyFullRoutingParallel. It is called
 	// concurrently from all workers and must be safe for concurrent use.
 	Progress func(Progress)
+	// Obs, when non-nil, receives batched metric updates and trace
+	// spans from the full-routing verifiers (see NewInstruments).
+	// Updates happen at progress-snapshot and shard granularity, so
+	// instrumentation cost stays off the per-path hot path.
+	Obs *Instruments
 
 	k    int
 	n0   int

@@ -20,8 +20,12 @@ import (
 )
 
 // SchemaVersion is stamped into every record so future readers can
-// evolve the format without guessing.
-const SchemaVersion = 1
+// evolve the format without guessing. Schema 2 adds the span and
+// heartbeat event types (see internal/obs); schema-1 records remain
+// valid, and readers skip event types they do not know, so journals
+// mixing both schemas — or containing events from a future schema —
+// summarize without error.
+const SchemaVersion = 2
 
 // Event names. A journal may contain any mix, across multiple runs.
 const (
@@ -29,6 +33,14 @@ const (
 	EventShardDone = "shard_done"
 	EventViolation = "violation"
 	EventFinal     = "final"
+	// EventSpan (schema 2) is one completed trace span: a named,
+	// timed section of a run (shard enumeration, checkpoint persist)
+	// with optional attributes.
+	EventSpan = "span"
+	// EventHeartbeat (schema 2) is a periodic liveness record carrying
+	// a snapshot of the run's metrics registry, so a journal alone
+	// reconstructs the progress timeline of a crashed run.
+	EventHeartbeat = "heartbeat"
 )
 
 // Record is one journal line. Fields are a union across event types;
@@ -50,6 +62,15 @@ type Record struct {
 
 	// violation
 	Error string `json:"error,omitempty"`
+
+	// span (schema 2)
+	Span      string            `json:"span,omitempty"`
+	SpanStart string            `json:"span_start,omitempty"` // RFC 3339, UTC
+	DurSec    float64           `json:"dur_sec,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+
+	// heartbeat (schema 2)
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 
 	// final
 	Paths         int64   `json:"paths,omitempty"`
@@ -115,6 +136,9 @@ type Summary struct {
 	Finals     int
 	Violations []string
 	ShardsDone int64 // shard_done events (re-runs of a shard count once each)
+	Spans      int   // span events (schema 2)
+	Heartbeats int   // heartbeat events (schema 2)
+	Unknown    int   // parsable records of event types this reader does not know
 	// ByRun holds one entry per (tool, alg, k) configuration seen, in
 	// first-appearance order.
 	ByRun []RunSummary
@@ -161,16 +185,16 @@ func Summarize(r io.Reader) (*Summary, error) {
 			continue
 		}
 		s.Records++
-		run := s.runFor(rec)
 		switch rec.Event {
 		case EventRunStart:
 			s.Runs++
-			run.Starts++
+			s.runFor(rec).Starts++
 		case EventShardDone:
 			s.ShardsDone++
 		case EventViolation:
 			s.Violations = append(s.Violations, rec.Error)
 		case EventFinal:
+			run := s.runFor(rec)
 			s.Finals++
 			if rec.Paused {
 				run.Paused++
@@ -181,6 +205,15 @@ func Summarize(r io.Reader) (*Summary, error) {
 			run.LastElapsed = rec.ElapsedSec
 			run.LastPPS = rec.PathsPerSec
 			run.BestPPS = max(run.BestPPS, rec.PathsPerSec)
+		case EventSpan:
+			s.Spans++
+		case EventHeartbeat:
+			s.Heartbeats++
+		default:
+			// Event types from a future schema: counted, never fatal,
+			// and kept out of the per-run roll-ups they might not
+			// belong to.
+			s.Unknown++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -204,6 +237,10 @@ func (s *Summary) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "journal: %d records (%d skipped), %d run starts, %d finals, %d shard completions\n",
 		s.Records, s.Skipped, s.Runs, s.Finals, s.ShardsDone)
+	if s.Spans > 0 || s.Heartbeats > 0 || s.Unknown > 0 {
+		fmt.Fprintf(&b, "  observability: %d spans, %d heartbeats, %d unknown-event records\n",
+			s.Spans, s.Heartbeats, s.Unknown)
+	}
 	runs := append([]RunSummary(nil), s.ByRun...)
 	sort.SliceStable(runs, func(i, j int) bool {
 		if runs[i].Alg != runs[j].Alg {

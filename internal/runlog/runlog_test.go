@@ -93,7 +93,7 @@ func TestSchemaAndTimestampStamped(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := string(data)
-	if !strings.Contains(line, `"schema":1`) || strings.Contains(line, "bogus") {
+	if !strings.Contains(line, `"schema":2`) || strings.Contains(line, "bogus") {
 		t.Fatalf("envelope not stamped: %s", line)
 	}
 	if !strings.Contains(line, "2023-11-14T22:13:20Z") {
@@ -134,5 +134,77 @@ not json at all
 	}
 	if !strings.Contains(s.Format(), "VIOLATION") {
 		t.Fatalf("format dropped the violation:\n%s", s.Format())
+	}
+}
+
+// TestSummarizeMixedSchemas: a journal accumulated across binary
+// versions — schema-1 records, schema-2 spans and heartbeats, a record
+// from a hypothetical future schema, and a torn tail — must summarize
+// the run records exactly as if the foreign ones were absent.
+func TestSummarizeMixedSchemas(t *testing.T) {
+	journal := `{"schema":1,"event":"run_start","tool":"routecheck","alg":"strassen","k":4,"workers":2}
+{"schema":1,"event":"shard_done","tool":"routecheck","alg":"strassen","k":4,"shard":0,"shards_done":1,"shards_total":8}
+{"schema":2,"event":"span","tool":"routecheck","alg":"strassen","k":4,"span":"shard_enumerate","dur_sec":0.5,"attrs":{"shard":"1"}}
+{"schema":2,"event":"heartbeat","tool":"routecheck","alg":"strassen","k":4,"metrics":{"routing_paths_verified_total":4096}}
+{"schema":3,"event":"quantum_flux","tool":"routecheck","alg":"strassen","k":4}
+{"schema":2,"event":"final","tool":"routecheck","alg":"strassen","k":4,"paths":9834496,"paths_per_sec":250000}
+{"schema":2,"event":"span","tool":"routecheck","alg":"str`
+	s, err := Summarize(strings.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 6 || s.Skipped != 1 {
+		t.Fatalf("records=%d skipped=%d, want 6/1", s.Records, s.Skipped)
+	}
+	if s.Spans != 1 || s.Heartbeats != 1 || s.Unknown != 1 {
+		t.Fatalf("spans=%d heartbeats=%d unknown=%d, want 1/1/1", s.Spans, s.Heartbeats, s.Unknown)
+	}
+	if s.Runs != 1 || s.Finals != 1 || s.ShardsDone != 1 {
+		t.Fatalf("run roll-up = %+v", s)
+	}
+	// Exactly one configuration: spans/heartbeats/unknown events must
+	// not fabricate per-run entries.
+	if len(s.ByRun) != 1 {
+		t.Fatalf("ByRun = %+v", s.ByRun)
+	}
+	if r := s.ByRun[0]; r.Starts != 1 || r.Finals != 1 || r.LastPaths != 9834496 {
+		t.Fatalf("run summary = %+v", r)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "1 spans, 1 heartbeats, 1 unknown-event records") {
+		t.Fatalf("format missing observability line:\n%s", out)
+	}
+}
+
+// TestSpanHeartbeatRoundTrip: schema-2 fields survive Emit/Summarize.
+func TestSpanHeartbeatRoundTrip(t *testing.T) {
+	w, path := testWriter(t)
+	if err := w.Emit(Record{Event: EventSpan, Span: "checkpoint_persist",
+		SpanStart: "2023-11-14T22:13:19Z", DurSec: 0.25,
+		Attrs: map[string]string{"shard": "3"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(Record{Event: EventHeartbeat,
+		Metrics: map[string]float64{"routing_paths_per_second": 12345.5}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"span":"checkpoint_persist"`, `"dur_sec":0.25`,
+		`"attrs":{"shard":"3"}`, `"metrics":{"routing_paths_per_second":12345.5}`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("journal missing %q:\n%s", want, data)
+		}
+	}
+	s, err := SummarizeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spans != 1 || s.Heartbeats != 1 || s.Records != 2 {
+		t.Fatalf("summary = %+v", s)
 	}
 }
