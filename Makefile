@@ -4,7 +4,12 @@ GO ?= go
 RESUME_DIR ?= .verify-resume
 OBS_DIR ?= .obs-smoke
 
-.PHONY: verify build test vet race bench-routing bench verify-resume obs-smoke
+.PHONY: verify build test vet race bench-routing bench bench-smoke verify-resume obs-smoke
+
+# Routing benchmarks: the adjacency-index and parallel-verification
+# suites plus the A9 enumeration-kernel ablation; -benchmem adds the
+# B/op and allocs/op columns the kernel work is judged by.
+BENCH_PATTERN = BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification|BenchmarkA9EnumerationKernel
 
 verify: vet test race
 
@@ -24,16 +29,23 @@ race:
 	$(GO) test -race ./internal/routing/...
 
 bench-routing:
-	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x .
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem .
 
-# Machine-readable routing benchmark results (paths/s next to ns/op),
-# via the stdlib-only converter in cmd/benchjson — no jq required.
-# Single shell + trap so the intermediate .out is removed even when the
-# bench or the converter fails.
+# Machine-readable routing benchmark results (paths/s and allocation
+# columns next to ns/op), via the stdlib-only converter in
+# cmd/benchjson — no jq required. Single shell + trap so the
+# intermediate .out is removed even when the bench or the converter
+# fails.
 bench:
 	@set -e; trap 'rm -f bench_routing.out' EXIT; \
-	$(GO) test -run xxx -bench 'BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification' -benchtime 5x . > bench_routing.out; \
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . > bench_routing.out; \
 	$(GO) run ./cmd/benchjson -o BENCH_routing.json < bench_routing.out
+
+# CI smoke: one iteration of the parallel-verification benchmark, with
+# allocation counts — catches a bench-harness or kernel regression
+# without paying for a full measured run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkA7ParallelVerification' -benchtime 1x -benchmem .
 
 # End-to-end checkpoint/resume acceptance check: pause a Strassen k=4
 # verification after 3 of 8 shards, resume it at a different worker

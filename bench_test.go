@@ -1,7 +1,7 @@
 package pathrouting
 
 // Benchmark harness: one benchmark per experiment of EXPERIMENTS.md
-// (E1–E12, plus ablations A1–A8). The paper has no empirical tables —
+// (E1–E12, plus ablations A1–A9). The paper has no empirical tables —
 // its checkable content is the set of theorems, lemmas and figures — so
 // each benchmark both
 // times the operation and reports the reproduction metric (measured /
@@ -10,6 +10,7 @@ package pathrouting
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"pathrouting/internal/bilinear"
@@ -556,6 +557,50 @@ func BenchmarkVerifyFullRoutingAdjacency(b *testing.B) {
 	}
 	r.LinearAdjacency = false
 	r.AdjacencySampleStride = 0
+}
+
+// BenchmarkA9EnumerationKernel is the enumeration-kernel ablation: the
+// seed kernel (per-path slice/closure allocations, MetaRoot copy-edge
+// walks, map-based dedup — selected by Router.SeedEnumeration) against
+// the allocation-free scratch kernel, at 1, 2, and GOMAXPROCS workers.
+// With -benchmem the B/op and allocs/op columns show the allocation
+// storm the scratch kernel removes; on a multi-core box the worker
+// sweep shows the parallel scaling the seed kernel's allocator
+// contention destroyed. Run via `make bench` (EXPERIMENTS.md A9 holds
+// the measured table).
+func BenchmarkA9EnumerationKernel(b *testing.B) {
+	g, err := cdag.New(bilinear.Strassen(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kernel := range []struct {
+		name string
+		seed bool
+	}{
+		{"seed", true},
+		{"scratch", false},
+	} {
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			b.Run("kernel="+kernel.name+"/workers="+itoa(w), func(b *testing.B) {
+				r.SeedEnumeration = kernel.seed
+				defer func() { r.SeedEnumeration = false }()
+				b.ReportAllocs()
+				var st routing.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = r.VerifyFullRoutingParallel(w)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(st.PathsPerSecond(), "paths/s")
+			})
+		}
+	}
 }
 
 // BenchmarkA8ParallelMultiply compares the sequential and concurrent

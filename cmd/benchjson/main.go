@@ -3,11 +3,14 @@
 // BENCH_routing.json without depending on jq or benchstat being
 // installed. Every value/unit pair on a benchmark line becomes a
 // metric, so custom b.ReportMetric units (paths/s, io/bound, ...) come
-// through next to ns/op.
+// through next to ns/op — and with `go test -benchmem`, the B/op and
+// allocs/op columns land as metrics of the same names (the allocation
+// budget of the routing enumeration kernel is tracked this way; see
+// `make bench`).
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchtime 5x . | benchjson -o BENCH.json
+//	go test -run xxx -bench . -benchtime 5x -benchmem . | benchjson -o BENCH.json
 package main
 
 import (

@@ -9,6 +9,7 @@
 //	paperrepro [-experiment all|E1|...|E12] [-quick] [-dotdir DIR] [-progress]
 //	           [-journal run.jsonl] [-checkpointdir DIR] [-resume]
 //	           [-debugaddr :8080] [-heartbeat 30s]
+//	           [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // With -checkpointdir, the heavy E3 routing verifications run through
 // the sharded checkpoint engine, persisting per-case checkpoint files
@@ -31,6 +32,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +66,8 @@ var (
 	resume     = flag.Bool("resume", false, "with -checkpointdir: skip shards already completed in existing checkpoints")
 	debugAddr  = flag.String("debugaddr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 	heartbeat  = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (verifier workers carry pprof labels)")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 // obsReg collects every instrument family of the process; it backs both
@@ -192,6 +197,32 @@ func csvOut(name string, header []string, rows [][]string) {
 func main() {
 	flag.Parse()
 	defer func() { journalW.Close() }() // nil-safe; only non-nil once e3 opened it
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 	pebbleIn = pebble.NewInstruments(obsReg)
 	if *debugAddr != "" {
 		srv, err := obs.StartServer(*debugAddr, obsReg, healthDoc)

@@ -8,7 +8,7 @@
 //	           [-workers 0] [-progress] [-adjstride 0]
 //	           [-checkpoint run.ckpt] [-resume] [-shardrows 0] [-maxshards 0]
 //	           [-journal run.jsonl] [-debugaddr :8080] [-debughold 0]
-//	           [-heartbeat 30s]
+//	           [-heartbeat 30s] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	routecheck -summarize run.jsonl
 //
 // With -checkpoint, the full routing persists completed shards to the
@@ -24,6 +24,12 @@
 // stderr. -debughold keeps the server up after the run so one-shot
 // runs can still be scraped. With -journal, -heartbeat emits a
 // heartbeat record carrying the metrics snapshot at that interval.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// run (flushed on every exit path, including verification failure and
+// the -maxshards pause). Verifier workers run under pprof labels
+// (worker=N), so `go tool pprof -tagfocus` attributes samples per
+// worker.
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -58,7 +66,50 @@ var (
 	debugAddr  = flag.String("debugaddr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 	debugHold  = flag.Duration("debughold", 0, "with -debugaddr: keep the debug server up this long after the run")
 	heartbeat  = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (verifier workers carry pprof labels)")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
+
+// profileStop flushes at most once: every exit path (normal return,
+// fail, the paused os.Exit) funnels through stopProfiles, and the
+// paths overlap (fail after the deferred stop is armed).
+var profileStop sync.Once
+
+// startProfiles begins CPU profiling per the flags. The matching
+// stopProfiles must run on every exit, including the os.Exit paths
+// that skip defers, or the profile file is left truncated.
+func startProfiles() {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// stopProfiles flushes the CPU profile and writes the heap profile.
+func stopProfiles() {
+	profileStop.Do(func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	})
+}
 
 // debugSrv is the optional debug HTTP server (nil without -debugaddr).
 var debugSrv *obs.Server
@@ -162,6 +213,7 @@ func holdDebug() {
 const exitPaused = 3
 
 func fail(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
 }
@@ -176,6 +228,8 @@ func main() {
 		fmt.Print(s.Format())
 		return
 	}
+	startProfiles()
+	defer stopProfiles()
 	var alg *bilinear.Algorithm
 	for _, a := range bilinear.All() {
 		if a.Name == *algName {
@@ -315,6 +369,7 @@ func runCheckpointed(r *routing.Router, alg *bilinear.Algorithm, emit func(runlo
 		fmt.Printf("PAUSED: %v\n", err)
 		fmt.Printf("rerun with -resume to continue; partial stats: %s\n", st)
 		holdDebug() // os.Exit skips the deferred hold
+		stopProfiles()
 		os.Exit(exitPaused)
 	default:
 		emit(runlog.Record{Event: runlog.EventViolation, Error: err.Error()})

@@ -130,6 +130,11 @@ type Graph struct {
 	adjOnce   sync.Once
 	parentPtr []int64
 	parentNbr []V
+
+	// Lazily built dense meta-root table (see metaroot.go); metaOnce
+	// makes initialization safe under concurrent use.
+	metaOnce sync.Once
+	metaRoot []V
 }
 
 // New builds G_r for the algorithm. It returns an error when r < 1 or

@@ -1,0 +1,60 @@
+package cdag
+
+// Dense meta-root table. MetaRoot computes a vertex's meta-vertex root
+// by walking copy edges downward, which costs a Locate plus O(rank)
+// divisions per call. The routing verifiers ask for the root of every
+// vertex of every enumerated path — millions of calls over the same
+// small vertex set — so the table materializes the answer once, in a
+// dense []V indexed by vertex ID, exactly as the CSR index does for
+// adjacency (see csr.go). Built lazily, shared by every caller.
+
+// buildMetaRoots fills g.metaRoot rank by rank: a copy vertex inherits
+// its unique parent's root, and the parent (same kind, rank-1) has a
+// smaller ID, so one ascending pass per kind memoizes the whole walk in
+// O(1) per vertex.
+func (g *Graph) buildMetaRoots() {
+	tbl := make([]V, g.total)
+	for v := g.offDec[0]; v < g.total; v++ {
+		tbl[v] = V(v) // decoding vertices are never copies (Lemma 2)
+	}
+	for side, kind := range []Kind{EncA, EncB} {
+		off := g.offEncA
+		if kind == EncB {
+			off = g.offEncB
+		}
+		for idx := int64(0); idx < g.powA[g.R]; idx++ {
+			tbl[off[0]+idx] = V(off[0] + idx) // inputs are roots
+		}
+		for rank := 1; rank <= g.R; rank++ {
+			aPow := g.powA[g.R-rank]
+			layer := int64(g.LayerSize(kind, rank))
+			for idx := int64(0); idx < layer; idx++ {
+				v := off[rank] + idx
+				t := idx / aPow % int64(g.b)
+				e := g.trivial[side][t]
+				if e < 0 {
+					tbl[v] = V(v)
+					continue
+				}
+				tPrefix := idx / aPow / int64(g.b)
+				parent := off[rank-1] + tPrefix*g.powA[g.R-rank+1] + int64(e)*aPow + idx%aPow
+				tbl[v] = tbl[parent]
+			}
+		}
+	}
+	g.metaRoot = tbl
+}
+
+// EnsureMetaRootIndex builds the dense meta-root table now instead of
+// on the first MetaRoots call. Call it before spawning workers so the
+// one-time construction cost is paid up front (construction is safe
+// under concurrent use either way).
+func (g *Graph) EnsureMetaRootIndex() { g.metaOnce.Do(g.buildMetaRoots) }
+
+// MetaRoots returns the dense meta-root table: MetaRoots()[v] ==
+// MetaRoot(v) for every vertex. The table is built on first call and
+// must not be mutated.
+func (g *Graph) MetaRoots() []V {
+	g.EnsureMetaRootIndex()
+	return g.metaRoot
+}

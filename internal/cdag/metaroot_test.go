@@ -1,0 +1,73 @@
+package cdag
+
+import (
+	"sync"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+)
+
+// TestMetaRootsTableMatchesWalk cross-checks the dense meta-root table
+// against the copy-edge walk it memoizes, for every vertex of several
+// catalog graphs: the table is the routing verifiers' hot-path
+// replacement for MetaRoot, so any disagreement silently corrupts the
+// meta-vertex hit bound.
+func TestMetaRootsTableMatchesWalk(t *testing.T) {
+	for _, tc := range []struct {
+		alg *bilinear.Algorithm
+		r   int
+	}{
+		{bilinear.Strassen(), 1},
+		{bilinear.Strassen(), 3},
+		{bilinear.Winograd(), 2},
+		{bilinear.Classical(2), 2},
+		{bilinear.DisconnectedFast(), 2},
+	} {
+		g, err := New(tc.alg, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := g.MetaRoots()
+		if len(tbl) != g.NumVertices() {
+			t.Fatalf("%s r=%d: table has %d entries, graph %d vertices",
+				tc.alg.Name, tc.r, len(tbl), g.NumVertices())
+		}
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			if want := g.MetaRoot(v); tbl[v] != want {
+				t.Fatalf("%s r=%d: MetaRoots()[%s] = %s, walk says %s",
+					tc.alg.Name, tc.r, g.Label(v), g.Label(tbl[v]), g.Label(want))
+			}
+		}
+		// Roots must be fixed points, as with the walk.
+		for v := V(0); int(v) < g.NumVertices(); v++ {
+			if tbl[tbl[v]] != tbl[v] {
+				t.Fatalf("%s r=%d: root %s of %s is not a fixed point",
+					tc.alg.Name, tc.r, g.Label(tbl[v]), g.Label(v))
+			}
+		}
+	}
+}
+
+// TestEnsureMetaRootIndexConcurrent hammers the lazy constructor from
+// many goroutines; the sync.Once must hand every caller the same table.
+func TestEnsureMetaRootIndexConcurrent(t *testing.T) {
+	g, err := New(bilinear.Strassen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	tables := make([][]V, 8)
+	for i := range tables {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i] = g.MetaRoots()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(tables); i++ {
+		if &tables[i][0] != &tables[0][0] {
+			t.Fatal("concurrent MetaRoots calls returned distinct tables")
+		}
+	}
+}

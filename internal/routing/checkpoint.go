@@ -174,7 +174,10 @@ func (r *Router) checkpointCompat(c *Checkpoint, plan shardPlan) error {
 // mergeShard folds one completed shard's accumulator into the
 // checkpoint. Every field is an exact int64 sum, so merge order — and
 // therefore worker count and interruption pattern — cannot change the
-// final state.
+// final state. The worker's dense meta-hit vector folds into the
+// checkpoint's sparse map — the persisted form stays a map keyed by
+// meta-vertex root, so files written before the dense accumulator
+// still load (the gob schema is unchanged; no version bump).
 func (c *Checkpoint) mergeShard(shard int64, ws *workerState) {
 	c.Done[shard] = true
 	c.DoneCount++
@@ -182,8 +185,10 @@ func (c *Checkpoint) mergeShard(shard int64, ws *workerState) {
 	c.TotalHits += ws.totalHits
 	c.AdjChecked += ws.adjChecked
 	hitVec(c.Hits).merge(ws.hits)
-	for root, h := range ws.metaHits {
-		c.MetaHits[root] += h
+	for v, h := range ws.metaHits {
+		if h != 0 {
+			c.MetaHits[cdag.V(v)] += h
+		}
 	}
 }
 
@@ -319,6 +324,9 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 	}
 	if !r.LinearAdjacency {
 		r.G.EnsureAdjacencyIndex() // build once, before the fan-out
+	}
+	if !r.SeedEnumeration {
+		r.G.EnsureMetaRootIndex() // likewise; seed kernel walks instead
 	}
 
 	flushEvery := cfg.FlushEvery

@@ -22,9 +22,12 @@ package routing
 // VerifyFullRouting reports, at any worker count.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,10 +67,15 @@ func (r *Router) VerifyFullRoutingParallel(workers int) (Stats, error) {
 	return r.verifyFullRouting(workers)
 }
 
-// workerState is one worker's private accumulator.
+// workerState is one worker's private accumulator. Both hit
+// accumulators are dense vectors indexed by vertex ID — metaHits only
+// has nonzero entries at meta-vertex roots, but a dense vector keeps
+// the per-path accumulation a bounds-checked array add instead of a
+// map operation (the checkpoint file format still stores the sparse
+// map form; see mergeShard).
 type workerState struct {
 	hits       hitVec
-	metaHits   map[cdag.V]int64
+	metaHits   hitVec
 	numPaths   int64
 	totalHits  int64
 	adjChecked int64
@@ -125,13 +133,21 @@ func (r *Router) adjStride() int64 {
 // endpoints, sampled edge-by-edge adjacency, and hit accumulation per
 // vertex and per meta-vertex. It is the shared core of the plain
 // workers and of the checkpoint shards.
+//
+// The loop is allocation-free in steady state: one pathScratch per
+// call carries the digit odometer and chain buffer, meta roots come
+// from the dense precomputed table, and per-path root dedup is a
+// linear scan of a fixed-size array (a path has 3(2k+2)-2 vertices, so
+// at most that many distinct roots). Router.SeedEnumeration restores
+// the original kernel — per-path slice/closure allocations, MetaRoot
+// copy-edge walks, and map-based dedup — for the A9 ablation.
 func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomic.Int64, out *workerState) {
 	g := r.G
 	aK := r.powA[r.k]
 	wantLen := 3*(2*r.k+2) - 2
 	stride := r.adjStride()
 	out.hits = make(hitVec, g.NumVertices())
-	out.metaHits = make(map[cdag.V]int64)
+	out.metaHits = make(hitVec, g.NumVertices())
 	out.errPos = math.MaxInt64
 	total := (rowHi - rowLo) * aK
 	observing := r.Progress != nil || r.Obs != nil
@@ -157,7 +173,14 @@ func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomi
 	}
 
 	var buf []cdag.V
-	roots := make(map[cdag.V]struct{}, 16)
+	ps := r.newPathScratch()
+	var metaRoots []cdag.V            // dense table (scratch kernel)
+	var seedRoots map[cdag.V]struct{} // per-path map dedup (seed kernel)
+	if r.SeedEnumeration {
+		seedRoots = make(map[cdag.V]struct{}, 16)
+	} else {
+		metaRoots = g.MetaRoots()
+	}
 	for row := rowLo; row < rowHi; row++ {
 		// Cooperative cancellation: an error published at a position
 		// before everything left in this worker's scan makes the
@@ -166,8 +189,17 @@ func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomi
 			return
 		}
 		side, in := r.rowOf(row)
+		ps.setIn(r, in)
+		ps.setOut(r, 0)
 		for outIdx := int64(0); outIdx < aK; outIdx++ {
-			buf = r.PairPath(side, in, outIdx, buf[:0])
+			if outIdx != 0 {
+				ps.advanceOut(r)
+			}
+			if r.SeedEnumeration {
+				buf = r.seedPairPath(side, in, outIdx, buf[:0])
+			} else {
+				buf = r.appendPairPath(ps, side, in, outIdx, buf[:0])
+			}
 			idx := row*aK + outIdx
 			out.numPaths++
 			out.totalHits += int64(len(buf))
@@ -195,13 +227,34 @@ func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomi
 					}
 				}
 			}
-			clear(roots)
-			for _, v := range buf {
-				out.peak = max(out.peak, out.hits.bump(v))
-				roots[g.MetaRoot(v)] = struct{}{}
-			}
-			for root := range roots {
-				out.metaHits[root]++
+			if r.SeedEnumeration {
+				clear(seedRoots)
+				for _, v := range buf {
+					out.peak = max(out.peak, out.hits.bump(v))
+					seedRoots[g.MetaRoot(v)] = struct{}{}
+				}
+				for root := range seedRoots {
+					out.metaHits[root]++
+				}
+			} else {
+				roots := ps.roots[:0]
+				for _, v := range buf {
+					out.peak = max(out.peak, out.hits.bump(v))
+					root := metaRoots[v]
+					seen := false
+					for _, s := range roots {
+						if s == root {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						roots = append(roots, root)
+					}
+				}
+				for _, root := range roots {
+					out.metaHits[root]++
+				}
 			}
 			if observing && (out.numPaths >= nextEmit ||
 				(out.numPaths&progressClockMask == 0 && time.Since(lastEmit) >= progressTimeFloor)) {
@@ -214,12 +267,16 @@ func (r *Router) scanRows(w, workers int, rowLo, rowHi int64, earliestErr *atomi
 // scanRange is scanRows plus per-range observability: the enumeration
 // latency lands in the shard-enumerate histogram (a plain worker's row
 // range is the unit checkpoint shards are made of, so one histogram
-// serves both engines).
+// serves both engines), and the scan runs under a pprof worker label
+// so CPU profiles attribute samples per worker (`go tool pprof
+// -tagfocus worker=3`).
 func (r *Router) scanRange(w, workers int, rowLo, rowHi int64, earliestErr *atomic.Int64, out *workerState) {
 	if in := r.Obs; in != nil {
 		defer in.ShardEnumerate.ObserveSince(time.Now())
 	}
-	r.scanRows(w, workers, rowLo, rowHi, earliestErr, out)
+	pprof.Do(context.Background(), pprof.Labels("worker", strconv.Itoa(w)), func(context.Context) {
+		r.scanRows(w, workers, rowLo, rowHi, earliestErr, out)
+	})
 }
 
 // verifyFullRouting is the engine behind VerifyFullRouting (workers=1)
@@ -236,6 +293,9 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 	}
 	if !r.LinearAdjacency {
 		r.G.EnsureAdjacencyIndex() // build once, before the fan-out
+	}
+	if !r.SeedEnumeration {
+		r.G.EnsureMetaRootIndex() // likewise; seed kernel walks instead
 	}
 	outs := make([]workerState, workers)
 	var earliestErr atomic.Int64
@@ -292,16 +352,10 @@ func (r *Router) finalizeFullRouting(start time.Time, outs []workerState) (Stats
 	metaHits := outs[0].metaHits
 	for i := 1; i < len(outs); i++ {
 		hits.merge(outs[i].hits)
-		for root, h := range outs[i].metaHits {
-			metaHits[root] += h
-		}
+		metaHits.merge(outs[i].metaHits)
 	}
 	st.MaxVertexHits = hits.max()
-	for _, h := range metaHits {
-		if h > st.MaxMetaHits {
-			st.MaxMetaHits = h
-		}
-	}
+	st.MaxMetaHits = metaHits.max()
 	st.Elapsed = time.Since(start)
 	return st, r.checkFullRoutingBounds(st)
 }

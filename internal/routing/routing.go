@@ -183,6 +183,12 @@ type Router struct {
 	// adjacency checks with the legacy per-edge linear scan. It exists
 	// so benchmarks can measure the index against the baseline.
 	LinearAdjacency bool
+	// SeedEnumeration makes the full-routing verifiers enumerate pair
+	// paths with the seed kernel (seedPairPath: fresh digit slices and
+	// chain buffers per path) instead of the allocation-free scratch
+	// kernel. It exists so the A9 ablation and the golden equivalence
+	// tests can measure the scratch kernel against the baseline.
+	SeedEnumeration bool
 	// Progress, when non-nil, receives periodic Progress snapshots from
 	// VerifyFullRouting and VerifyFullRoutingParallel. It is called
 	// concurrently from all workers and must be safe for concurrent use.
@@ -197,6 +203,7 @@ type Router struct {
 	n0   int
 	a, b int64
 	powA []int64 // a^i
+	powB []int64 // b^i
 	powN []int64 // n0^i
 }
 
@@ -216,10 +223,12 @@ func NewRouterWithMatching(g *cdag.Graph, bm *BaseMatching) (*Router, error) {
 	}
 	r := &Router{G: g, BM: bm, k: g.R, n0: g.Alg.N0, a: int64(g.A()), b: int64(g.B())}
 	r.powA = make([]int64, r.k+1)
+	r.powB = make([]int64, r.k+1)
 	r.powN = make([]int64, r.k+1)
-	r.powA[0], r.powN[0] = 1, 1
+	r.powA[0], r.powB[0], r.powN[0] = 1, 1, 1
 	for i := 1; i <= r.k; i++ {
 		r.powA[i] = r.powA[i-1] * r.a
+		r.powB[i] = r.powB[i-1] * r.b
 		r.powN[i] = r.powN[i-1] * int64(r.n0)
 	}
 	return r, nil
@@ -285,7 +294,7 @@ func (r *Router) AppendChain(side bilinear.Side, in, out int64, buf []cdag.V) ([
 	// Encoding ranks 0..k: prefix of T, suffix of in.
 	for j := r.k; j >= 0; j-- {
 		// T's first j digits: t64 / b^(k-j).
-		tPrefix := t64 / powBk(r.b, r.k-j)
+		tPrefix := t64 / r.powB[r.k-j]
 		idx := tPrefix*r.powA[r.k-j] + in%r.powA[r.k-j]
 		buf = append(buf, r.G.ID(kind, j, idx))
 	}
@@ -298,86 +307,172 @@ func (r *Router) AppendChain(side bilinear.Side, in, out int64, buf []cdag.V) ([
 	buf = append(buf, r.G.ID(cdag.Dec, 0, t64))
 	// Decoding ranks 1..k: keep T's first k-j digits, out's last j.
 	for j := 1; j <= r.k; j++ {
-		idx := (t64/powBk(r.b, j))*r.powA[j] + out%r.powA[j]
+		idx := (t64/r.powB[j])*r.powA[j] + out%r.powA[j]
 		buf = append(buf, r.G.ID(cdag.Dec, j, idx))
 	}
 	return buf, true
 }
 
-func powBk(b int64, k int) int64 {
-	p := int64(1)
-	for i := 0; i < k; i++ {
-		p *= b
+// pathScratch is the reusable per-worker state of pair-path
+// enumeration. The seed kernel heap-allocated four digit slices, a
+// closure, and three chain slices for every path — millions of paths
+// of GC pressure and allocator contention serializing the parallel
+// workers — so everything per-path now lives here, allocated once per
+// worker: steady-state enumeration performs zero allocations per path
+// (pinned by TestPairPathEnumerationZeroAllocs).
+//
+// A scratch is single-goroutine state: each worker makes its own with
+// newPathScratch and keeps the digit fields in sync with the pair it
+// enumerates via setIn/setOut/advanceOut before calling appendPairPath.
+type pathScratch struct {
+	iD, jD   []int64  // per-slot row/col digits of the current input
+	oiD, ojD []int64  // per-slot row/col digits of the current output
+	chain    []cdag.V // chain composition buffer (reversed/truncated copies)
+	roots    []cdag.V // per-path meta/value-root dedup (≤ 3(2k+2)-2 entries)
+}
+
+// newPathScratch returns a scratch sized for r's recursion depth, with
+// every buffer pre-grown so first use does not allocate.
+func (r *Router) newPathScratch() *pathScratch {
+	digits := make([]int64, 4*r.k) // one backing array for all four digit slices
+	pathLen := 3*(2*r.k+2) - 2
+	return &pathScratch{
+		iD:    digits[0*r.k : 1*r.k],
+		jD:    digits[1*r.k : 2*r.k],
+		oiD:   digits[2*r.k : 3*r.k],
+		ojD:   digits[3*r.k : 4*r.k],
+		chain: make([]cdag.V, 0, 2*r.k+2),
+		roots: make([]cdag.V, 0, pathLen),
 	}
-	return p
+}
+
+// setIn decomposes input multi-index in into per-slot row/col digits.
+func (ps *pathScratch) setIn(r *Router, in int64) {
+	n0 := int64(r.n0)
+	for l := 0; l < r.k; l++ {
+		e := in / r.powA[r.k-1-l] % r.a
+		ps.iD[l], ps.jD[l] = e/n0, e%n0
+	}
+}
+
+// setOut decomposes output multi-index out into per-slot row/col
+// digits.
+func (ps *pathScratch) setOut(r *Router, out int64) {
+	n0 := int64(r.n0)
+	for l := 0; l < r.k; l++ {
+		o := out / r.powA[r.k-1-l] % r.a
+		ps.oiD[l], ps.ojD[l] = o/n0, o%n0
+	}
+}
+
+// advanceOut steps the output digits to the next multi-index in
+// enumeration order — the odometer the row-major scan loops turn
+// instead of redoing k divisions per path. Incrementing the packed
+// index by one bumps the last slot's digit and carries leftward, so
+// only the changed slots are touched; past the last index it wraps to
+// all zeros, like the packed value modulo aᵏ.
+func (ps *pathScratch) advanceOut(r *Router) {
+	n0 := int64(r.n0)
+	for l := r.k - 1; l >= 0; l-- {
+		d := ps.oiD[l]*n0 + ps.ojD[l] + 1
+		if d < r.a {
+			ps.oiD[l], ps.ojD[l] = d/n0, d%n0
+			return
+		}
+		ps.oiD[l], ps.ojD[l] = 0, 0
+	}
+}
+
+// pack recombines per-slot row and column digits into a packed
+// multi-index (the inverse of setIn/setOut).
+func (ps *pathScratch) pack(r *Router, rows, cols []int64) int64 {
+	n0 := int64(r.n0)
+	var x int64
+	for l := 0; l < r.k; l++ {
+		x = x*r.a + rows[l]*n0 + cols[l]
+	}
+	return x
+}
+
+// packN packs k base-n₀ digits (one row or column coordinate per slot).
+func (ps *pathScratch) packN(r *Router, digits []int64) int64 {
+	n0 := int64(r.n0)
+	var x int64
+	for l := 0; l < r.k; l++ {
+		x = x*n0 + digits[l]
+	}
+	return x
+}
+
+// appendPairPath is the allocation-free pair-path kernel: it appends
+// the Lemma 4 path for (side, in, out) to buf and returns it, taking
+// all per-path state from ps, whose digit fields the caller must have
+// synchronized to (in, out) via setIn/setOut/advanceOut. The first and
+// third chains compose directly into buf; only the middle chain passes
+// through the scratch buffer, because it enters the path reversed.
+func (r *Router) appendPairPath(ps *pathScratch, side bilinear.Side, in, out int64, buf []cdag.V) []cdag.V {
+	var ok bool
+	switch side {
+	case bilinear.SideA:
+		// a_ij → c_ij′ → b_jj′ → c_i′j′.
+		mid := ps.pack(r, ps.iD, ps.ojD) // c_{i,j′}
+		bIn := ps.pack(r, ps.jD, ps.ojD) // b_{j,j′}
+		buf, ok = r.AppendChain(bilinear.SideA, in, mid, buf)
+		if !ok {
+			panic("routing: chain a→c_ij′ must be guaranteed")
+		}
+		ps.chain, ok = r.AppendChain(bilinear.SideB, bIn, mid, ps.chain[:0])
+		if !ok {
+			panic("routing: chain b→c_ij′ must be guaranteed")
+		}
+		for i := len(ps.chain) - 2; i >= 0; i-- { // reversed, junction dropped
+			buf = append(buf, ps.chain[i])
+		}
+		start := len(buf)
+		buf, ok = r.AppendChain(bilinear.SideB, bIn, out, buf)
+		if !ok {
+			panic("routing: chain b→c_i′j′ must be guaranteed")
+		}
+		// Drop the third chain's leading junction vertex in place.
+		buf = append(buf[:start], buf[start+1:]...)
+	default:
+		// b_ij → c_i′j → a_i′i → c_i′j′  (paper's B-side sequence).
+		mid := ps.pack(r, ps.oiD, ps.jD) // c_{i′,j}
+		aIn := ps.pack(r, ps.oiD, ps.iD) // a_{i′,i}
+		buf, ok = r.AppendChain(bilinear.SideB, in, mid, buf)
+		if !ok {
+			panic("routing: chain b→c_i′j must be guaranteed")
+		}
+		ps.chain, ok = r.AppendChain(bilinear.SideA, aIn, mid, ps.chain[:0])
+		if !ok {
+			panic("routing: chain a→c_i′j must be guaranteed")
+		}
+		for i := len(ps.chain) - 2; i >= 0; i-- { // reversed, junction dropped
+			buf = append(buf, ps.chain[i])
+		}
+		start := len(buf)
+		buf, ok = r.AppendChain(bilinear.SideA, aIn, out, buf)
+		if !ok {
+			panic("routing: chain a→c_i′j′ must be guaranteed")
+		}
+		buf = append(buf[:start], buf[start+1:]...)
+	}
+	return buf
 }
 
 // PairPath computes the Lemma 4 path between input in of the given side
 // and output out, as the composition of three guaranteed-dependency
 // chains (the middle one reversed). Junction vertices are not
 // duplicated; the path has 3(2k+2) - 2 vertices.
+//
+// This is the one-shot convenience form: it allocates a fresh scratch
+// per call. Enumeration loops (ForEachPairPath, the verifier workers)
+// reuse one pathScratch per worker and stay allocation-free.
 func (r *Router) PairPath(side bilinear.Side, in, out int64, buf []cdag.V) []cdag.V {
-	// Decompose in/out into per-slot row and column digits.
-	n0 := int64(r.n0)
-	iD := make([]int64, r.k) // row digits of input
-	jD := make([]int64, r.k) // col digits of input
-	oiD := make([]int64, r.k)
-	ojD := make([]int64, r.k)
-	for l := 0; l < r.k; l++ {
-		e := in / r.powA[r.k-1-l] % r.a
-		o := out / r.powA[r.k-1-l] % r.a
-		iD[l], jD[l] = e/n0, e%n0
-		oiD[l], ojD[l] = o/n0, o%n0
-	}
-	pack := func(rows, cols []int64) int64 {
-		var x int64
-		for l := 0; l < r.k; l++ {
-			x = x*r.a + rows[l]*n0 + cols[l]
-		}
-		return x
-	}
-	var c1, c2, c3 []cdag.V
-	var ok bool
-	switch side {
-	case bilinear.SideA:
-		// a_ij → c_ij′ → b_jj′ → c_i′j′.
-		mid := pack(iD, ojD) // c_{i,j′}
-		bIn := pack(jD, ojD) // b_{j,j′}
-		c1, ok = r.AppendChain(bilinear.SideA, in, mid, nil)
-		if !ok {
-			panic("routing: chain a→c_ij′ must be guaranteed")
-		}
-		c2, ok = r.AppendChain(bilinear.SideB, bIn, mid, nil)
-		if !ok {
-			panic("routing: chain b→c_ij′ must be guaranteed")
-		}
-		c3, ok = r.AppendChain(bilinear.SideB, bIn, out, nil)
-		if !ok {
-			panic("routing: chain b→c_i′j′ must be guaranteed")
-		}
-	default:
-		// b_ij → c_i′j → a_i′i → c_i′j′  (paper's B-side sequence).
-		mid := pack(oiD, jD) // c_{i′,j}
-		aIn := pack(oiD, iD) // a_{i′,i}
-		c1, ok = r.AppendChain(bilinear.SideB, in, mid, nil)
-		if !ok {
-			panic("routing: chain b→c_i′j must be guaranteed")
-		}
-		c2, ok = r.AppendChain(bilinear.SideA, aIn, mid, nil)
-		if !ok {
-			panic("routing: chain a→c_i′j must be guaranteed")
-		}
-		c3, ok = r.AppendChain(bilinear.SideA, aIn, out, nil)
-		if !ok {
-			panic("routing: chain a→c_i′j′ must be guaranteed")
-		}
-	}
-	buf = append(buf, c1...)
-	for i := len(c2) - 2; i >= 0; i-- { // reversed, junction dropped
-		buf = append(buf, c2[i])
-	}
-	buf = append(buf, c3[1:]...) // junction dropped
-	return buf
+	ps := r.newPathScratch()
+	ps.setIn(r, in)
+	ps.setOut(r, out)
+	return r.appendPairPath(ps, side, in, out, buf)
 }
 
 // ForEachPairPath enumerates the full input–output routing of the
@@ -385,10 +480,17 @@ func (r *Router) PairPath(side bilinear.Side, in, out int64, buf []cdag.V) []cda
 // output (aᵏ), the Lemma 4 path. fn receives a reused buffer.
 func (r *Router) ForEachPairPath(fn func(side bilinear.Side, in, out int64, path []cdag.V)) {
 	var buf []cdag.V
+	ps := r.newPathScratch()
+	aK := r.powA[r.k]
 	for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
-		for in := int64(0); in < r.powA[r.k]; in++ {
-			for out := int64(0); out < r.powA[r.k]; out++ {
-				buf = r.PairPath(side, in, out, buf[:0])
+		for in := int64(0); in < aK; in++ {
+			ps.setIn(r, in)
+			ps.setOut(r, 0)
+			for out := int64(0); out < aK; out++ {
+				if out != 0 {
+					ps.advanceOut(r)
+				}
+				buf = r.appendPairPath(ps, side, in, out, buf[:0])
 				fn(side, in, out, buf)
 			}
 		}
@@ -396,16 +498,64 @@ func (r *Router) ForEachPairPath(fn func(side bilinear.Side, in, out int64, path
 }
 
 // ForEachGuaranteedChain enumerates the Lemma 3 routing: one chain per
-// guaranteed dependency of either side.
+// guaranteed dependency of either side, in the sequential (side, in,
+// out) order. Guaranteed outputs are enumerated directly — for each
+// input only its n₀ᵏ dependent outputs are visited (free column digits
+// for side A, free row digits for side B), n₀ᵏ·aᵏ chains per side —
+// instead of testing all aᵏ×aᵏ pairs and discarding the non-guaranteed
+// ones inside AppendChain.
 func (r *Router) ForEachGuaranteedChain(fn func(side bilinear.Side, in, out int64, chain []cdag.V)) {
 	var buf []cdag.V
+	ps := r.newPathScratch()
+	n0 := int64(r.n0)
+	aK := r.powA[r.k]
+	free := make([]int64, r.k) // odometer over the k free base-n₀ digits
 	for _, side := range []bilinear.Side{bilinear.SideA, bilinear.SideB} {
-		for in := int64(0); in < r.powA[r.k]; in++ {
-			for out := int64(0); out < r.powA[r.k]; out++ {
+		for in := int64(0); in < aK; in++ {
+			ps.setIn(r, in)
+			// Packed output with all free digits zero, and the packed
+			// step a unit of free digit l contributes: side A fixes the
+			// row digits (out digit l is iD[l]·n₀ + free[l]), side B the
+			// column digits (out digit l is free[l]·n₀ + jD[l]).
+			var base int64
+			for l := 0; l < r.k; l++ {
+				if side == bilinear.SideA {
+					base = base*r.a + ps.iD[l]*n0
+				} else {
+					base = base*r.a + ps.jD[l]
+				}
+			}
+			// A unit of free digit l moves out by stepScale·a^(k-1-l):
+			// the free digit is the column (units) part of out digit l
+			// for side A and the row (·n₀) part for side B.
+			stepScale := int64(1)
+			if side == bilinear.SideB {
+				stepScale = n0
+			}
+			for l := range free {
+				free[l] = 0
+			}
+			out := base
+			for {
 				var ok bool
 				buf, ok = r.AppendChain(side, in, out, buf[:0])
-				if ok {
-					fn(side, in, out, buf)
+				if !ok {
+					panic("routing: directly enumerated dependency must be guaranteed")
+				}
+				fn(side, in, out, buf)
+				// Advance the free-digit odometer, updating out in place.
+				l := r.k - 1
+				for ; l >= 0; l-- {
+					free[l]++
+					out += stepScale * r.powA[r.k-1-l]
+					if free[l] < n0 {
+						break
+					}
+					free[l] = 0
+					out -= n0 * stepScale * r.powA[r.k-1-l]
+				}
+				if l < 0 {
+					break
 				}
 			}
 		}

@@ -180,72 +180,79 @@ func (r *Router) VerifyFullRouting() (Stats, error) {
 // VerifyChainUsage checks the exact counting claim inside Lemma 4's
 // proof: composed over all input–output pairs of both sides, every
 // guaranteed-dependency chain is used exactly 3n₀ᵏ times.
+//
+// A guaranteed chain is determined by its input plus the k free output
+// digits (the columns for an A-chain, the rows for a B-chain), so the
+// counters live in two dense []int64 of size aᵏ·n₀ᵏ indexed by
+// in·n₀ᵏ + packN(free) — no per-pair slice, closure, or map-key
+// allocations (the seed allocated four slices and a closure per pair,
+// O(a²ᵏ) total). Because every index corresponds to exactly one
+// guaranteed dependency, "all entries equal 3n₀ᵏ" also subsumes the
+// seed's separate completeness check that every dependency appears.
 func (r *Router) VerifyChainUsage() error {
 	aK := r.powA[r.k]
-	useA := make(map[[2]int64]int64)
-	useB := make(map[[2]int64]int64)
-	n0 := int64(r.n0)
+	n0K := r.powN[r.k]
+	useA := make([]int64, aK*n0K)
+	useB := make([]int64, aK*n0K)
+	ps := r.newPathScratch()
 	for in := int64(0); in < aK; in++ {
+		ps.setIn(r, in)
+		ps.setOut(r, 0)
+		fIn := ps.packN(r, ps.iD) // row digits of in, packed base n₀
+		fJn := ps.packN(r, ps.jD) // col digits of in, packed base n₀
 		for out := int64(0); out < aK; out++ {
-			// Recompute the three chains symbolically (per PairPath).
-			iD := make([]int64, r.k)
-			jD := make([]int64, r.k)
-			oiD := make([]int64, r.k)
-			ojD := make([]int64, r.k)
-			for l := 0; l < r.k; l++ {
-				e := in / r.powA[r.k-1-l] % r.a
-				o := out / r.powA[r.k-1-l] % r.a
-				iD[l], jD[l] = e/n0, e%n0
-				oiD[l], ojD[l] = o/n0, o%n0
+			if out != 0 {
+				ps.advanceOut(r)
 			}
-			pack := func(rows, cols []int64) int64 {
-				var x int64
-				for l := 0; l < r.k; l++ {
-					x = x*r.a + rows[l]*n0 + cols[l]
-				}
-				return x
-			}
-			// A-side source.
-			mid := pack(iD, ojD)
-			bIn := pack(jD, ojD)
-			useA[[2]int64{in, mid}]++
-			useB[[2]int64{bIn, mid}]++
-			useB[[2]int64{bIn, out}]++
-			// B-side source.
-			midB := pack(oiD, jD)
-			aIn := pack(oiD, iD)
-			useB[[2]int64{in, midB}]++
-			useA[[2]int64{aIn, midB}]++
-			useA[[2]int64{aIn, out}]++
+			fOi := ps.packN(r, ps.oiD)
+			fOj := ps.packN(r, ps.ojD)
+			// A-side source: a_ij → c_ij′ → b_jj′ → c_i′j′.
+			bIn := ps.pack(r, ps.jD, ps.ojD)
+			useA[in*n0K+fOj]++  // chain a_ij → c_{i,j′}
+			useB[bIn*n0K+fIn]++ // chain b_jj′ → c_{i,j′}
+			useB[bIn*n0K+fOi]++ // chain b_jj′ → c_{i′,j′}
+			// B-side source: b_ij → c_i′j → a_i′i → c_i′j′.
+			aIn := ps.pack(r, ps.oiD, ps.iD)
+			useB[in*n0K+fOi]++  // chain b_ij → c_{i′,j}
+			useA[aIn*n0K+fJn]++ // chain a_i′i → c_{i′,j}
+			useA[aIn*n0K+fOj]++ // chain a_i′i → c_{i′,j′}
 		}
 	}
-	want := 3 * r.powN[r.k]
-	for dep, c := range useA {
+	want := 3 * n0K
+	for idx, c := range useA {
 		if c != want {
-			return fmt.Errorf("routing: A-chain (%d→%d) used %d times, want exactly %d", dep[0], dep[1], c, want)
+			in, free := int64(idx)/n0K, int64(idx)%n0K
+			return fmt.Errorf("routing: A-chain (%d→%d) used %d times, want exactly %d",
+				in, r.chainOut(bilinear.SideA, in, free), c, want)
 		}
 	}
-	for dep, c := range useB {
+	for idx, c := range useB {
 		if c != want {
-			return fmt.Errorf("routing: B-chain (%d→%d) used %d times, want exactly %d", dep[0], dep[1], c, want)
+			in, free := int64(idx)/n0K, int64(idx)%n0K
+			return fmt.Errorf("routing: B-chain (%d→%d) used %d times, want exactly %d",
+				in, r.chainOut(bilinear.SideB, in, free), c, want)
 		}
-	}
-	// Every guaranteed dependency must actually appear.
-	wantDeps := int64(0)
-	for in := int64(0); in < aK; in++ {
-		for out := int64(0); out < aK; out++ {
-			if r.GuaranteedA(in, out) {
-				wantDeps++
-			}
-		}
-	}
-	if int64(len(useA)) != wantDeps {
-		return fmt.Errorf("routing: %d A-chains used, want %d", len(useA), wantDeps)
-	}
-	if int64(len(useB)) != wantDeps {
-		return fmt.Errorf("routing: %d B-chains used, want %d", len(useB), wantDeps)
 	}
 	return nil
+}
+
+// chainOut reconstructs the packed output of the guaranteed chain of
+// the given side from its input and its packed free digits (base n₀):
+// an A-chain keeps the input's row digits and takes the free digits as
+// columns, a B-chain the reverse.
+func (r *Router) chainOut(side bilinear.Side, in, free int64) int64 {
+	n0 := int64(r.n0)
+	var out int64
+	for l := 0; l < r.k; l++ {
+		e := in / r.powA[r.k-1-l] % r.a
+		f := free / r.powN[r.k-1-l] % n0
+		if side == bilinear.SideA {
+			out = out*r.a + (e/n0)*n0 + f
+		} else {
+			out = out*r.a + f*n0 + e%n0
+		}
+	}
+	return out
 }
 
 // VerifyValueClassRouting re-verifies the Routing Theorem's 6aᵏ bound
@@ -263,8 +270,12 @@ func (r *Router) VerifyValueClassRouting() (Stats, error) {
 	start := time.Now()
 	g := r.G
 	st := Stats{Bound: 6 * r.powA[r.k]}
-	classHits := make(map[cdag.V]int64)
-	roots := make(map[cdag.V]struct{}, 16)
+	// Dense per-class accumulator and fixed-size array dedup, as in
+	// scanRows: a path has 3(2k+2)-2 vertices, so at most that many
+	// distinct roots — a linear scan beats a map at that size, and the
+	// enumeration loop stays allocation-free.
+	classHits := make(hitVec, g.NumVertices())
+	roots := make([]cdag.V, 0, 3*(2*r.k+2)-2)
 	// Cache ValueRoot: it is pure per vertex.
 	cache := make([]cdag.V, g.NumVertices())
 	for i := range cache {
@@ -273,24 +284,29 @@ func (r *Router) VerifyValueClassRouting() (Stats, error) {
 	r.ForEachPairPath(func(side bilinear.Side, in, out int64, path []cdag.V) {
 		st.NumPaths++
 		st.TotalHits += int64(len(path))
-		clear(roots)
+		roots = roots[:0]
 		for _, v := range path {
 			root := cache[v]
 			if root < 0 {
 				root = g.ValueRoot(v)
 				cache[v] = root
 			}
-			roots[root] = struct{}{}
+			seen := false
+			for _, s := range roots {
+				if s == root {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				roots = append(roots, root)
+			}
 		}
-		for root := range roots {
+		for _, root := range roots {
 			classHits[root]++
 		}
 	})
-	for _, h := range classHits {
-		if h > st.MaxMetaHits {
-			st.MaxMetaHits = h
-		}
-	}
+	st.MaxMetaHits = classHits.max()
 	st.MaxVertexHits = st.MaxMetaHits
 	st.Elapsed = time.Since(start)
 	if st.MaxMetaHits > st.Bound {
