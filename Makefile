@@ -4,14 +4,15 @@ GO ?= go
 RESUME_DIR ?= .verify-resume
 OBS_DIR ?= .obs-smoke
 
-.PHONY: verify build test vet race bench-routing bench bench-smoke verify-resume obs-smoke
+.PHONY: verify build test vet vet386 race bench-routing bench bench-smoke verify-resume obs-smoke
 
 # Routing benchmarks: the adjacency-index and parallel-verification
-# suites plus the A9 enumeration-kernel ablation; -benchmem adds the
-# B/op and allocs/op columns the kernel work is judged by.
-BENCH_PATTERN = BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification|BenchmarkA9EnumerationKernel
+# suites plus the A9 enumeration-kernel ablation and the A10 orbit
+# reduction; -benchmem adds the B/op and allocs/op columns the kernel
+# work is judged by.
+BENCH_PATTERN = BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification|BenchmarkA9EnumerationKernel|BenchmarkA10OrbitReduction
 
-verify: vet test race
+verify: vet test race vet386
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,13 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# 32-bit build + vet pass: catches int-width truncation bugs (like the
+# nzKey byte(idx) collision and unguarded int(int64) casts on the
+# checkpoint claim path) that are invisible on 64-bit hosts.
+vet386:
+	GOARCH=386 $(GO) build ./...
+	GOARCH=386 $(GO) vet ./...
 
 # The routing package owns all the goroutine fan-out (parallel
 # Routing Theorem verification, lazy CSR index construction); run it

@@ -559,6 +559,47 @@ func BenchmarkVerifyFullRoutingAdjacency(b *testing.B) {
 	r.AdjacencySampleStride = 0
 }
 
+// BenchmarkA10OrbitReduction measures the orbit-reduced full-routing
+// scan against full enumeration at Strassen k=4 (the ISSUE 6 headline
+// case): same bit-identical Stats, but the per-path work drops from
+// three chain constructions plus a quadratic meta-root dedup scan to
+// one chain construction plus a stamped linear walk. Run via
+// `make bench`; EXPERIMENTS.md A10 holds the measured table.
+func BenchmarkA10OrbitReduction(b *testing.B) {
+	g, err := cdag.New(bilinear.Strassen(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		orbits bool
+	}{
+		{"full", false},
+		{"orbit", true},
+	} {
+		for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run("mode="+mode.name+"/workers="+itoa(w), func(b *testing.B) {
+				r.OrbitReduction = mode.orbits
+				defer func() { r.OrbitReduction = false }()
+				b.ReportAllocs()
+				var st routing.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = r.VerifyFullRoutingParallel(w)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(st.PathsPerSecond(), "paths/s")
+			})
+		}
+	}
+}
+
 // BenchmarkA9EnumerationKernel is the enumeration-kernel ablation: the
 // seed kernel (per-path slice/closure allocations, MetaRoot copy-edge
 // walks, map-based dedup — selected by Router.SeedEnumeration) against

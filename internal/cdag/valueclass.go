@@ -24,6 +24,8 @@ package cdag
 // internal/routing measures routing loads per value class to test the
 // conjecture empirically.
 
+import "strconv"
+
 // rowClasses returns, for each product, the smallest product with an
 // identical row in m.
 func rowClasses(m [][]nz) []int32 {
@@ -41,10 +43,18 @@ func rowClasses(m [][]nz) []int32 {
 	return rep
 }
 
+// nzKey encodes a sparse row injectively: distinct rows always produce
+// distinct keys. The index is rendered in decimal — an earlier byte(idx)
+// encoding truncated it mod 256, so two entries whose indices agree mod
+// 256 and share a coefficient collided, silently merging distinct value
+// classes (and every routing statistic computed per class with them).
+// The ':' and ',' delimiters cannot appear inside a decimal integer or
+// a rat.Rat rendering ("-3/7"), so the field boundaries are unambiguous.
 func nzKey(row []nz) string {
-	buf := make([]byte, 0, 8*len(row))
+	buf := make([]byte, 0, 12*len(row))
 	for _, e := range row {
-		buf = append(buf, byte(e.idx), ':')
+		buf = strconv.AppendInt(buf, int64(e.idx), 10)
+		buf = append(buf, ':')
 		buf = append(buf, e.c.String()...)
 		buf = append(buf, ',')
 	}

@@ -80,13 +80,21 @@ type CheckpointConfig struct {
 // ShardDone is the per-shard completion notification delivered to
 // CheckpointConfig.OnShard.
 type ShardDone struct {
-	// Shard is the completed shard's index in [0, Total).
+	// Shard is the completed shard's index in [0, Total), or -1 for the
+	// synthetic restore notification (Restored below).
 	Shard int64
 	// Rows and Paths are the shard's size.
 	Rows, Paths int64
 	// Done is the cumulative number of completed shards (including
 	// those restored from the checkpoint); Total the overall count.
 	Done, Total int64
+	// Restored marks the one synthetic notification a resumed run
+	// delivers before re-running anything: it aggregates every shard
+	// restored from the checkpoint (Shard is -1; Rows/Paths/Done cover
+	// all of them), so coverage displays start from the restored state
+	// instead of discovering it shard by shard — or never, when the
+	// checkpoint was already complete.
+	Restored bool
 }
 
 // Checkpoint is the persisted accumulated state of a checkpointed
@@ -309,8 +317,23 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 		return Stats{}, err
 	}
 
-	if in := r.Obs; in != nil && cp.DoneCount > 0 {
-		in.ShardsSkipped.Add(cp.DoneCount)
+	if cp.DoneCount > 0 {
+		// Credit the restored shards' work to the run's counters and the
+		// caller's shard callback before anything re-runs, so a resumed
+		// run's paths/adjacency gauges and /healthz coverage reach 100%
+		// instead of ending short by the restored fraction — including
+		// the fully-restored case below, which re-runs nothing at all.
+		var restoredRows int64
+		for s := int64(0); s < plan.numShards; s++ {
+			if cp.Done[s] {
+				restoredRows += min((s+1)*plan.shardRows, plan.rows) - s*plan.shardRows
+			}
+		}
+		r.Obs.noteRestored(cp.NumPaths, cp.AdjChecked, cp.DoneCount)
+		if cfg.OnShard != nil {
+			cfg.OnShard(ShardDone{Shard: -1, Restored: true, Rows: restoredRows,
+				Paths: cp.NumPaths, Done: cp.DoneCount, Total: plan.numShards})
+		}
 	}
 	pending := make([]int64, 0, plan.numShards-cp.DoneCount)
 	for s := int64(0); s < plan.numShards; s++ {
@@ -337,9 +360,7 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 	if cfg.MaxShards > 0 && cfg.MaxShards < maxClaims {
 		maxClaims = cfg.MaxShards
 	}
-	if int64(workers) > maxClaims {
-		workers = int(maxClaims)
-	}
+	workers = clampWorkers(workers, maxClaims)
 
 	var (
 		next        atomic.Int64

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"pathrouting/internal/bilinear"
+	"pathrouting/internal/obs"
 )
 
 // TestCheckpointResumeBitIdentical is the round-trip property test:
@@ -223,4 +224,97 @@ func TestCheckpointOnShardAndPlan(t *testing.T) {
 			t.Fatalf("shard %d reported %d times", s, n)
 		}
 	}
+}
+
+// TestResumeCreditsRestoredWork is the regression test for resumed-run
+// observability: the Paths/AdjChecks counters and the OnShard stream
+// must account for restored shards, so coverage reaches 100% on a
+// resumed run — previously only ShardsSkipped moved, and a resume of a
+// *complete* checkpoint emitted nothing at all.
+func TestResumeCreditsRestoredWork(t *testing.T) {
+	r := mustRouter(t, bilinear.Strassen(), 3) // 128 rows
+	want, err := r.VerifyFullRouting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	_, err = r.VerifyFullRoutingCheckpointed(2, CheckpointConfig{
+		Path: path, ShardRows: 16, MaxShards: 3, // pause at 3/8 shards
+	})
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("expected ErrPaused, got %v", err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume in a fresh "process": new instruments, empty counters. The
+	// run must credit the restored 3 shards up front and end with the
+	// full-run totals.
+	r.Obs = NewInstruments(obs.NewRegistry())
+	var restored []ShardDone
+	var lastDone int64
+	st, err := r.VerifyFullRoutingCheckpointed(2, CheckpointConfig{
+		Path: path, ShardRows: 16, Resume: true,
+		OnShard: func(d ShardDone) {
+			if d.Restored {
+				restored = append(restored, d)
+			}
+			lastDone = d.Done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPaths != want.NumPaths {
+		t.Fatalf("resumed stats: %d paths, want %d", st.NumPaths, want.NumPaths)
+	}
+	if got := r.Obs.Paths.Value(); got != want.NumPaths {
+		t.Errorf("Paths counter %d, want %d (restored work not credited)", got, want.NumPaths)
+	}
+	if got := r.Obs.AdjChecks.Value(); got != want.AdjacencyChecked {
+		t.Errorf("AdjChecks counter %d, want %d", got, want.AdjacencyChecked)
+	}
+	if got := r.Obs.ShardsSkipped.Value(); got != 3 {
+		t.Errorf("ShardsSkipped %d, want 3", got)
+	}
+	if len(restored) != 1 {
+		t.Fatalf("%d restored notifications, want exactly 1", len(restored))
+	}
+	if d := restored[0]; d.Shard != -1 || d.Done != 3 || d.Total != 8 ||
+		d.Rows != 48 || d.Paths != cp.NumPaths {
+		t.Fatalf("restored notification %+v (checkpoint had %d paths)", d, cp.NumPaths)
+	}
+	if lastDone != 8 {
+		t.Fatalf("final OnShard done %d, want 8", lastDone)
+	}
+
+	// Resuming the now-complete checkpoint re-runs nothing but must
+	// still credit everything: counters at full totals, one restored
+	// notification covering all shards.
+	r.Obs = NewInstruments(obs.NewRegistry())
+	restored = nil
+	st, err = r.VerifyFullRoutingCheckpointed(2, CheckpointConfig{
+		Path: path, ShardRows: 16, Resume: true,
+		OnShard: func(d ShardDone) {
+			if !d.Restored {
+				t.Errorf("complete checkpoint re-ran shard %d", d.Shard)
+			}
+			restored = append(restored, d)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPaths != want.NumPaths {
+		t.Fatalf("fully-restored stats: %d paths, want %d", st.NumPaths, want.NumPaths)
+	}
+	if got := r.Obs.Paths.Value(); got != want.NumPaths {
+		t.Errorf("fully-restored Paths counter %d, want %d", got, want.NumPaths)
+	}
+	if len(restored) != 1 || restored[0].Done != 8 || restored[0].Total != 8 || restored[0].Rows != 128 {
+		t.Fatalf("fully-restored notifications %+v, want one covering all 8 shards", restored)
+	}
+	r.Obs = nil
 }

@@ -22,6 +22,14 @@ func (h hitVec) bump(v cdag.V) int64 {
 	return h[v]
 }
 
+// add increases v's counter by n and returns the new value — the
+// weighted form of bump the orbit-reduced scan uses to credit a whole
+// orbit's worth of hits to a shared-chain vertex at once.
+func (h hitVec) add(v cdag.V, n int64) int64 {
+	h[v] += n
+	return h[v]
+}
+
 // max returns the largest counter (0 for an empty vector).
 func (h hitVec) max() int64 {
 	var m int64

@@ -122,6 +122,18 @@ func (r *Router) rowOf(row int64) (bilinear.Side, int64) {
 	return bilinear.SideA, row
 }
 
+// clampWorkers bounds a worker count by an int64 work-item count
+// without truncation: the narrowing cast runs only when the limit is
+// already known to be below the current count (which fits int), so the
+// result is exact on 32-bit platforms where int(limit) alone could
+// truncate a large limit to a wrong — even negative — worker count.
+func clampWorkers(workers int, limit int64) int {
+	if int64(workers) > limit {
+		return int(limit)
+	}
+	return workers
+}
+
 func (r *Router) adjStride() int64 {
 	if r.AdjacencySampleStride > 0 {
 		return r.AdjacencySampleStride
@@ -275,7 +287,11 @@ func (r *Router) scanRange(w, workers int, rowLo, rowHi int64, earliestErr *atom
 		defer in.ShardEnumerate.ObserveSince(time.Now())
 	}
 	pprof.Do(context.Background(), pprof.Labels("worker", strconv.Itoa(w)), func(context.Context) {
-		r.scanRows(w, workers, rowLo, rowHi, earliestErr, out)
+		if r.OrbitReduction && !r.SeedEnumeration {
+			r.scanRowsOrbit(w, workers, rowLo, rowHi, earliestErr, out)
+		} else {
+			r.scanRows(w, workers, rowLo, rowHi, earliestErr, out)
+		}
 	})
 }
 
@@ -285,9 +301,7 @@ func (r *Router) verifyFullRouting(workers int) (Stats, error) {
 	start := time.Now()
 	r.Obs.noteStart(start)
 	rows := r.numRows()
-	if int64(workers) > rows {
-		workers = int(rows) // at most one row per worker
-	}
+	workers = clampWorkers(workers, rows) // at most one row per worker
 	if workers < 1 {
 		workers = 1
 	}

@@ -189,6 +189,16 @@ type Router struct {
 	// kernel. It exists so the A9 ablation and the golden equivalence
 	// tests can measure the scratch kernel against the baseline.
 	SeedEnumeration bool
+	// OrbitReduction makes the full-routing verifiers collapse each
+	// pair-path orbit — the n₀ᵏ paths sharing a (side, input) row and the
+	// fixed output coordinate, on which two of the three Lemma 4 chains
+	// are pointwise constant — into one weighted accumulation of the
+	// shared chains plus a per-path scan of the varying chain only. The
+	// resulting Stats are bit-identical to full enumeration at any k (see
+	// orbit.go for the exactness argument); only wall-clock time changes.
+	// SeedEnumeration takes precedence when both are set, keeping the
+	// seed ablation a pure baseline.
+	OrbitReduction bool
 	// Progress, when non-nil, receives periodic Progress snapshots from
 	// VerifyFullRouting and VerifyFullRoutingParallel. It is called
 	// concurrently from all workers and must be safe for concurrent use.
