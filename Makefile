@@ -3,8 +3,9 @@
 GO ?= go
 RESUME_DIR ?= .verify-resume
 OBS_DIR ?= .obs-smoke
+ROUTED_DIR ?= .routed-smoke
 
-.PHONY: verify build test vet vet386 race bench-routing bench bench-smoke verify-resume obs-smoke
+.PHONY: verify build test vet vet386 race bench-routing bench bench-smoke verify-resume obs-smoke routed-smoke
 
 # Routing benchmarks: the adjacency-index and parallel-verification
 # suites plus the A9 enumeration-kernel ablation and the A10 orbit
@@ -110,3 +111,76 @@ obs-smoke:
 	grep -q '^routing_shard_enumerate_seconds_bucket{le="+Inf"} ' $(OBS_DIR)/metrics.txt; \
 	curl -sfo /dev/null "$$url/debug/pprof/"; \
 	echo "obs-smoke: PASS — /metrics and /healthz live on $$url"
+
+# Verification-service acceptance check, two legs against real daemons
+# on ephemeral ports. Cache leg: submit a job, poll it to completion,
+# resubmit the identical spec, and require the response to be served
+# from the result cache — "cached": true and the engine's
+# routing_paths_verified_total counter not advancing (nothing was
+# re-enumerated). Durability leg: submit a 76-shard job to a daemon
+# started with the -crashaftershards failpoint, let it die mid-job
+# (exit 2, checkpoints flushed per shard), restart over the same data
+# dir, and require the recovered job to resume and finish with a
+# certificate byte-identical to the uninterrupted run from the first
+# leg.
+routed-smoke:
+	@set -e; pids=""; trap 'rm -rf $(ROUTED_DIR); [ -z "$$pids" ] || kill $$pids 2>/dev/null || true' EXIT; \
+	rm -rf $(ROUTED_DIR); mkdir -p $(ROUTED_DIR); \
+	$(GO) build -o $(ROUTED_DIR)/routed ./cmd/routed; \
+	$(ROUTED_DIR)/routed -addr 127.0.0.1:0 -datadir $(ROUTED_DIR)/data1 \
+		-journal $(ROUTED_DIR)/d1.jsonl 2> $(ROUTED_DIR)/d1.err & pids="$$!"; \
+	url=""; i=0; while [ $$i -lt 100 ]; do \
+		url=$$(sed -n 's/^routed listening on //p' $(ROUTED_DIR)/d1.err); \
+		[ -n "$$url" ] && break; i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$url" ]; then echo "routed-smoke: daemon1 never announced its URL"; cat $(ROUTED_DIR)/d1.err; exit 1; fi; \
+	curl -sf -X POST -d '{"alg":"strassen","k":2}' "$$url/jobs" > $(ROUTED_DIR)/submit1.json; \
+	id=$$(sed -n 's/^  "id": "\(j[0-9]*\)",*$$/\1/p' $(ROUTED_DIR)/submit1.json); \
+	if [ -z "$$id" ]; then echo "routed-smoke: no job id in submit response"; cat $(ROUTED_DIR)/submit1.json; exit 1; fi; \
+	ok=""; i=0; while [ $$i -lt 600 ]; do \
+		curl -sf "$$url/jobs/$$id" > $(ROUTED_DIR)/job1.json; \
+		if grep -q '"state": "done"' $(ROUTED_DIR)/job1.json; then ok=1; break; fi; \
+		i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$ok" ]; then echo "routed-smoke: job $$id never completed"; cat $(ROUTED_DIR)/job1.json; exit 1; fi; \
+	curl -sf "$$url/metrics" | sed -n 's/^routing_paths_verified_total //p' > $(ROUTED_DIR)/paths1; \
+	curl -sf -X POST -d '{"alg":"strassen","k":2}' "$$url/jobs" > $(ROUTED_DIR)/submit2.json; \
+	grep -q '"cached": true' $(ROUTED_DIR)/submit2.json \
+		|| { echo "routed-smoke: resubmission missed the result cache"; cat $(ROUTED_DIR)/submit2.json; exit 1; }; \
+	curl -sf "$$url/metrics" | sed -n 's/^routing_paths_verified_total //p' > $(ROUTED_DIR)/paths2; \
+	cmp $(ROUTED_DIR)/paths1 $(ROUTED_DIR)/paths2 \
+		|| { echo "routed-smoke: cache hit re-enumerated paths"; exit 1; }; \
+	curl -sf -X POST -d '{"alg":"strassen","k":4,"shardrows":64}' "$$url/jobs" > $(ROUTED_DIR)/submit3.json; \
+	id=$$(sed -n 's/^  "id": "\(j[0-9]*\)",*$$/\1/p' $(ROUTED_DIR)/submit3.json); \
+	ok=""; i=0; while [ $$i -lt 3600 ]; do \
+		curl -sf "$$url/jobs/$$id" > $(ROUTED_DIR)/job3.json; \
+		if grep -q '"state": "done"' $(ROUTED_DIR)/job3.json; then ok=1; break; fi; \
+		i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$ok" ]; then echo "routed-smoke: reference k=4 job never completed"; cat $(ROUTED_DIR)/job3.json; exit 1; fi; \
+	sed -n 's/^  "certificate": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/job3.json > $(ROUTED_DIR)/fresh.cert; \
+	[ -s $(ROUTED_DIR)/fresh.cert ] || { echo "routed-smoke: no certificate in reference job"; exit 1; }; \
+	$(ROUTED_DIR)/routed -addr 127.0.0.1:0 -datadir $(ROUTED_DIR)/data2 \
+		-crashaftershards 3 2> $(ROUTED_DIR)/d2.err & cpid=$$!; \
+	url2=""; i=0; while [ $$i -lt 100 ]; do \
+		url2=$$(sed -n 's/^routed listening on //p' $(ROUTED_DIR)/d2.err); \
+		[ -n "$$url2" ] && break; i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$url2" ]; then echo "routed-smoke: failpoint daemon never announced its URL"; cat $(ROUTED_DIR)/d2.err; exit 1; fi; \
+	curl -sf -X POST -d '{"alg":"strassen","k":4,"shardrows":64}' "$$url2/jobs" > $(ROUTED_DIR)/submit4.json; \
+	st=0; wait $$cpid || st=$$?; \
+	if [ $$st -ne 2 ]; then echo "routed-smoke: expected failpoint exit 2, got $$st"; cat $(ROUTED_DIR)/d2.err; exit 1; fi; \
+	grep -q 'failpoint' $(ROUTED_DIR)/d2.err; \
+	$(ROUTED_DIR)/routed -addr 127.0.0.1:0 -datadir $(ROUTED_DIR)/data2 \
+		2> $(ROUTED_DIR)/d3.err & pids="$$pids $$!"; \
+	url3=""; i=0; while [ $$i -lt 100 ]; do \
+		url3=$$(sed -n 's/^routed listening on //p' $(ROUTED_DIR)/d3.err); \
+		[ -n "$$url3" ] && break; i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$url3" ]; then echo "routed-smoke: restarted daemon never announced its URL"; cat $(ROUTED_DIR)/d3.err; exit 1; fi; \
+	ok=""; i=0; while [ $$i -lt 3600 ]; do \
+		curl -sf "$$url3/jobs/j00000001" > $(ROUTED_DIR)/job4.json; \
+		if grep -q '"state": "done"' $(ROUTED_DIR)/job4.json; then ok=1; break; fi; \
+		i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$ok" ]; then echo "routed-smoke: crashed job never resumed to completion"; cat $(ROUTED_DIR)/job4.json; exit 1; fi; \
+	grep -q '"resumed": true' $(ROUTED_DIR)/job4.json \
+		|| { echo "routed-smoke: recovered job not marked resumed"; cat $(ROUTED_DIR)/job4.json; exit 1; }; \
+	sed -n 's/^  "certificate": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/job4.json > $(ROUTED_DIR)/resumed.cert; \
+	cmp $(ROUTED_DIR)/resumed.cert $(ROUTED_DIR)/fresh.cert \
+		|| { echo "routed-smoke: resumed certificate differs from uninterrupted run"; exit 1; }; \
+	echo "routed-smoke: PASS — cache hit served without re-enumeration; crashed job resumed to a byte-identical certificate"

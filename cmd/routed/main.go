@@ -1,0 +1,158 @@
+// Command routed is the verification-as-a-service daemon: clients
+// POST (algorithm, k, kernel, adjstride, orbits) jobs to /jobs, get a
+// job ID, poll GET /jobs/{id} for live progress, and fetch the final
+// Stats certificate. One listener serves the job API next to the
+// observability surface (/metrics, /healthz, /debug/pprof).
+//
+// Usage:
+//
+//	routed [-addr :7607] [-datadir routed-data] [-queue 64]
+//	       [-jobs 1] [-jobworkers 0] [-maxk 6]
+//	       [-journal routed.jsonl] [-heartbeat 30s]
+//	       [-draintimeout 30s] [-crashaftershards 0]
+//
+// The service core (internal/serve) gives repeated traffic three
+// layers of reuse: a content-addressed result cache (identical
+// specs — by algorithm content, not name — return the cached
+// certificate without enumerating), single-flight coalescing
+// (identical in-flight submissions join one run), and per-job
+// checkpoints under -datadir (a killed daemon restarted over the same
+// directory re-enqueues incomplete jobs and resumes them mid-run,
+// with certificates bit-identical to uninterrupted runs).
+//
+// SIGINT/SIGTERM drains gracefully: in-flight HTTP requests finish,
+// running jobs stop at the next shard boundary with their checkpoints
+// persisted, and the process exits within -draintimeout.
+//
+// -crashaftershards N is a failpoint: the process exits hard (no
+// drain, no final flush) after N shard completions — the seam
+// `make routed-smoke` uses to simulate a kill mid-job.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pathrouting/internal/obs"
+	"pathrouting/internal/routing"
+	"pathrouting/internal/runlog"
+	"pathrouting/internal/serve"
+)
+
+var (
+	addr         = flag.String("addr", ":7607", "HTTP listen address (job API, /metrics, /healthz, /debug/pprof)")
+	dataDir      = flag.String("datadir", "routed-data", "state root: per-job checkpoints and the result-cache spill")
+	queueDepth   = flag.Int("queue", 64, "bounded FIFO job queue depth (full queue = HTTP 503)")
+	jobs         = flag.Int("jobs", 1, "jobs enumerated concurrently")
+	jobWorkers   = flag.Int("jobworkers", 0, "verifier goroutines per running job (0 = GOMAXPROCS/jobs)")
+	maxK         = flag.Int("maxk", 6, "largest accepted recursion depth k")
+	journalPath  = flag.String("journal", "", "append JSONL run records to this file")
+	heartbeat    = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
+	drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
+	crashAfter   = flag.Int64("crashaftershards", 0, "failpoint: exit hard after N shard completions (0 = off)")
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "routed:", err)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	reg := obs.NewRegistry()
+
+	var jw *runlog.Writer
+	if *journalPath != "" {
+		w, err := runlog.Open(*journalPath)
+		if err != nil {
+			fail(err)
+		}
+		defer w.Close()
+		jw = w
+	}
+
+	// The failpoint counts real (non-restored) shard completions across
+	// all jobs. OnShard fires after the shard is merged but before its
+	// checkpoint flush, so dying on the Nth callback leaves N-1 shards
+	// durable — a genuine mid-job kill, not a tidy pause.
+	var shardCount atomic.Int64
+	opts := serve.Options{
+		DataDir:     *dataDir,
+		QueueDepth:  *queueDepth,
+		Concurrency: *jobs,
+		JobWorkers:  *jobWorkers,
+		MaxK:        *maxK,
+		Registry:    reg,
+		OnShard: func(j *serve.Job, d routing.ShardDone) {
+			spec := j.Spec()
+			_ = jw.Emit(runlog.Record{
+				Event: runlog.EventShardDone, Tool: "routed",
+				Alg: spec.Alg, K: spec.K,
+				Shard: d.Shard, ShardsDone: d.Done, ShardsTotal: d.Total,
+				ShardPaths: d.Paths,
+			})
+			if *crashAfter > 0 && !d.Restored && shardCount.Add(1) >= *crashAfter {
+				fmt.Fprintf(os.Stderr, "routed: failpoint: exiting after %d shard completions\n", *crashAfter)
+				os.Exit(2)
+			}
+		},
+		OnJobDone: func(j *serve.Job) {
+			doc := j.Snapshot()
+			rec := runlog.Record{
+				Event: runlog.EventFinal, Tool: "routed",
+				Alg: doc.Spec.Alg, K: doc.Spec.K,
+				Resumed: doc.Resumed, Error: doc.Error,
+			}
+			if doc.Stats != nil {
+				rec.Paths = doc.Stats.Paths
+				rec.TotalHits = doc.Stats.TotalHits
+				rec.MaxVertexHits = doc.Stats.MaxVertexHits
+				rec.MaxMetaHits = doc.Stats.MaxMetaHits
+				rec.Bound = doc.Stats.Bound
+				rec.AdjChecked = doc.Stats.AdjChecked
+				rec.ElapsedSec = doc.Stats.ElapsedSec
+				if doc.Stats.ElapsedSec > 0 {
+					rec.PathsPerSec = float64(doc.Stats.Paths) / doc.Stats.ElapsedSec
+				}
+			}
+			_ = jw.Emit(rec)
+		},
+	}
+
+	s, err := serve.New(opts)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := obs.StartServerMux(*addr, reg, s.Health, s.Mount)
+	if err != nil {
+		fail(err)
+	}
+	_ = jw.Emit(runlog.Record{Event: runlog.EventRunStart, Tool: "routed"})
+	stopHeartbeat := obs.StartHeartbeat(jw, runlog.Record{Tool: "routed"}, reg, *heartbeat)
+	defer stopHeartbeat()
+	s.Start()
+	fmt.Fprintf(os.Stderr, "routed listening on %s\n", srv.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "routed: %s: draining (deadline %s)\n", got, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// HTTP first, so clients mid-poll get complete bodies and new
+	// submissions stop at the socket; then the job drain, so running
+	// enumerations checkpoint their last shard before the process exits.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+}

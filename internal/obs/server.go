@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -28,6 +29,15 @@ type Server struct {
 // as JSON per request, so it should return a cheap snapshot, not hold
 // locks into the engine.
 func StartServer(addr string, reg *Registry, health func() any) (*Server, error) {
+	return StartServerMux(addr, reg, health, nil)
+}
+
+// StartServerMux is StartServer with extra routes: mount, when
+// non-nil, receives the server's mux before serving starts, so a
+// daemon (cmd/routed) can hang its own API off the same listener as
+// /metrics, /healthz, and /debug/pprof instead of running a second
+// HTTP server.
+func StartServerMux(addr string, reg *Registry, health func() any, mount func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: %w", err)
@@ -38,16 +48,22 @@ func StartServer(addr string, reg *Registry, health func() any) (*Server, error)
 		_, _ = reg.WriteTo(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		snap := any(map[string]string{"status": "ok"})
 		if health != nil {
 			snap = health()
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(snap); err != nil {
+		// Marshal to a buffer before touching the ResponseWriter: an
+		// encoder writing straight to w commits the 200 status (and a
+		// partial body) before a mid-encode failure can surface, so the
+		// http.Error afterwards emitted a superfluous-WriteHeader log
+		// and the client got corrupt JSON with a success status.
+		body, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(body, '\n'))
 	})
 	// Explicit pprof routes: importing net/http/pprof for its side
 	// effect would pollute http.DefaultServeMux, which this server
@@ -57,6 +73,9 @@ func StartServer(addr string, reg *Registry, health func() any) (*Server, error)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if mount != nil {
+		mount(mux)
+	}
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
@@ -86,10 +105,24 @@ func (s *Server) URL() string {
 	return "http://" + net.JoinHostPort(host, port)
 }
 
-// Close stops the server. Safe on nil.
+// Close stops the server immediately, severing in-flight requests
+// mid-body. Safe on nil. Long-running daemons should prefer Shutdown,
+// which lets a /metrics scrape or a job poll finish cleanly.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown gracefully stops the server: the listener closes
+// immediately (no new connections), but in-flight requests drain
+// until they finish or ctx expires, whichever comes first. Safe on
+// nil. This is the path a daemon's SIGTERM handler should take so
+// clients mid-scrape get complete bodies before the process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

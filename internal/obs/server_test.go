@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (string, string) {
@@ -88,5 +90,114 @@ func TestServerNilHealth(t *testing.T) {
 	var nilSrv *Server
 	if nilSrv.Addr() != "" || nilSrv.URL() != "" || nilSrv.Close() != nil {
 		t.Fatal("nil server methods not safe")
+	}
+	if nilSrv.Shutdown(context.Background()) != nil {
+		t.Fatal("nil server Shutdown not safe")
+	}
+}
+
+// TestServerHealthzEncodeError: a health snapshot that cannot be
+// marshaled must yield a clean 500 — not a 200 status with a partial
+// body followed by a superfluous WriteHeader, which is what encoding
+// straight to the ResponseWriter produced.
+func TestServerHealthzEncodeError(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewRegistry(), func() any {
+		// Channels have no JSON encoding; Marshal fails deterministically.
+		return map[string]any{"status": "ok", "broken": make(chan int)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body:\n%s", resp.StatusCode, body)
+	}
+	if strings.Contains(string(body), `"status"`) {
+		t.Fatalf("error response leaked partial JSON:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("error response still claims JSON content type %q", ct)
+	}
+	if !strings.Contains(string(body), "unsupported type") {
+		t.Fatalf("error body does not carry the encode error:\n%s", body)
+	}
+}
+
+// TestServerShutdownDrains: Shutdown must let an in-flight request
+// finish its body (Close severed it mid-response) while refusing new
+// connections.
+func TestServerShutdownDrains(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := StartServerMux("127.0.0.1:0", NewRegistry(), nil, func(mux *http.ServeMux) {
+		mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			close(inFlight)
+			<-release
+			_, _ = io.WriteString(w, "complete")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+	<-inFlight
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// The listener closes promptly even while the request drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(srv.URL() + "/healthz"); err != nil {
+			break // refused: no new connections during drain
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting new connections during Shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request severed during Shutdown: %v", r.err)
+	}
+	if r.body != "complete" {
+		t.Fatalf("in-flight body = %q, want %q", r.body, "complete")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
 	}
 }

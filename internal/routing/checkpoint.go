@@ -22,6 +22,7 @@ import (
 	"io/fs"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -66,6 +67,12 @@ type CheckpointConfig struct {
 	// time-boxing knob (and the seam the interrupt/resume tests and
 	// `make verify-resume` use to simulate a kill).
 	MaxShards int64
+	// Stop, when non-nil, makes workers stop claiming new shards once
+	// it is closed: in-flight shards finish, merge, and persist, then
+	// the run returns an ErrPaused-wrapped error exactly as MaxShards
+	// would. This is the graceful-drain seam a daemon's SIGTERM
+	// handler uses — a drained job's checkpoint resumes on restart.
+	Stop <-chan struct{}
 	// Resume loads an existing checkpoint at Path and skips its
 	// completed shards. A missing file starts a fresh run, so retry
 	// loops can pass Resume unconditionally; an incompatible file
@@ -218,10 +225,26 @@ func (c *Checkpoint) stats(r *Router, start time.Time) Stats {
 	return st
 }
 
+// syncDir fsyncs the directory containing path, making a just-renamed
+// entry durable. fsync on the file alone persists its *contents*; the
+// rename is a mutation of the parent directory, and until that
+// directory is synced a power loss can roll the rename back — leaving
+// an older (or no) checkpoint at Path even though save returned
+// success, so a -resume would silently restart from stale state.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // save atomically persists the checkpoint: encode to Path+".tmp", fsync,
-// then rename over Path. The two durability halves land in separate
+// rename over Path, then fsync the parent directory so the rename
+// itself survives power loss. The durability halves land in separate
 // latency histograms when instrumented: encode+fsync scales with the
-// hit-vector size, rename with filesystem metadata latency.
+// hit-vector size, rename+dirsync with filesystem metadata latency.
 func (c *Checkpoint) save(path string, in *Instruments) error {
 	tmp := path + ".tmp"
 	start := time.Now()
@@ -250,6 +273,9 @@ func (c *Checkpoint) save(path string, in *Instruments) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("routing: checkpoint rename: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return fmt.Errorf("routing: checkpoint dir sync: %w", err)
 	}
 	if in != nil {
 		in.CheckpointRename.ObserveSince(renameStart)
@@ -379,6 +405,16 @@ func (r *Router) VerifyFullRoutingCheckpointed(workers int, cfg CheckpointConfig
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if cfg.Stop != nil {
+					select {
+					case <-cfg.Stop:
+						// Drain requested: finish nothing new. Shards
+						// already merged are persisted by the final
+						// flush below, so the run resumes from here.
+						return
+					default:
+					}
+				}
 				i := next.Add(1) - 1
 				if i >= maxClaims {
 					return

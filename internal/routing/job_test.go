@@ -1,0 +1,166 @@
+package routing
+
+// Tests for the job-shaped entry point and the content-addressed
+// cache keys the verification service builds on: RunJob must match
+// the underlying verifiers bit for bit, CacheKey must collide exactly
+// when certificates are guaranteed identical, and the Stop channel
+// must drain a run into a resumable checkpoint.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"pathrouting/internal/bilinear"
+)
+
+// TestRunJobMatchesVerifier: the job pipeline (graph + matching +
+// checkpointed verify in one call) reports Stats bit-identical to the
+// directly-driven verifier.
+func TestRunJobMatchesVerifier(t *testing.T) {
+	r := mustRouter(t, bilinear.Strassen(), 2)
+	want, err := r.VerifyFullRoutingParallel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Elapsed = 0
+
+	var shards int
+	st, err := RunJob(JobConfig{
+		Alg: bilinear.Strassen(), K: 2, Workers: 2,
+		CheckpointPath: filepath.Join(t.TempDir(), "job.ckpt"),
+		Resume:         true,
+		OnShard:        func(ShardDone) { shards++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Elapsed = 0
+	if st != want {
+		t.Fatalf("RunJob stats %+v, verifier %+v", st, want)
+	}
+	if shards == 0 {
+		t.Fatal("OnShard never called")
+	}
+}
+
+// TestRunJobValidation: construction errors surface before any
+// enumeration runs.
+func TestRunJobValidation(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "job.ckpt")
+	if _, err := RunJob(JobConfig{K: 2, CheckpointPath: ckpt}); err == nil {
+		t.Fatal("nil algorithm accepted")
+	}
+	if _, err := RunJob(JobConfig{Alg: bilinear.Strassen(), K: 0, CheckpointPath: ckpt}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := RunJob(JobConfig{Alg: bilinear.Strassen(), K: 2, Kernel: "quantum", CheckpointPath: ckpt}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := RunJob(JobConfig{Alg: bilinear.Strassen(), K: 2}); err == nil {
+		t.Fatal("missing checkpoint path accepted")
+	}
+}
+
+// TestRunJobStopDrains: closing Stop pauses the run at shard
+// granularity with a resumable checkpoint; resuming completes to
+// Stats bit-identical to an uninterrupted run.
+func TestRunJobStopDrains(t *testing.T) {
+	want, err := RunJob(JobConfig{
+		Alg: bilinear.Strassen(), K: 3, Workers: 2,
+		CheckpointPath: filepath.Join(t.TempDir(), "fresh.ckpt"), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Elapsed = 0
+
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	stop := make(chan struct{})
+	cfg := JobConfig{
+		Alg: bilinear.Strassen(), K: 3, Workers: 2, ShardRows: 16, // 8 shards
+		CheckpointPath: path, Resume: true, Stop: stop,
+		OnShard: func(d ShardDone) {
+			if d.Done == 2 {
+				close(stop) // drain after the second shard completes
+			}
+		},
+	}
+	st, err := RunJob(cfg)
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("drained run: err = %v, want ErrPaused", err)
+	}
+	if st.NumPaths >= want.NumPaths {
+		t.Fatalf("drained run enumerated everything (%d paths)", st.NumPaths)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.DoneCount == 0 || cp.DoneCount == cp.NumShards {
+		t.Fatalf("checkpoint has %d/%d shards — not a mid-job drain", cp.DoneCount, cp.NumShards)
+	}
+
+	cfg.Stop, cfg.OnShard = nil, nil
+	st, err = RunJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Elapsed = 0
+	if st != want {
+		t.Fatalf("resumed stats %+v, uninterrupted %+v", st, want)
+	}
+}
+
+// TestCacheKeyContentAddressed: keys collide exactly when the
+// certificate is guaranteed identical.
+func TestCacheKeyContentAddressed(t *testing.T) {
+	strassen := bilinear.Strassen()
+	base := CacheKey(strassen, 3, "", 0, false)
+
+	// Stable across calls, and across the name of the algorithm.
+	renamed := bilinear.Strassen()
+	renamed.Name = "strassen-by-any-other-name"
+	if got := CacheKey(renamed, 3, "", 0, false); got != base {
+		t.Fatalf("renamed algorithm changed the key: %s vs %s", got, base)
+	}
+	// Normalizations: "" = scratch kernel, 0 = default stride, orbit
+	// flag irrelevant under the seed kernel.
+	if got := CacheKey(strassen, 3, KernelScratch, defaultAdjacencyStride, false); got != base {
+		t.Fatalf("normalized key %s differs from base %s", got, base)
+	}
+	if CacheKey(strassen, 3, KernelSeed, 0, true) != CacheKey(strassen, 3, KernelSeed, 0, false) {
+		t.Fatal("orbit flag changed the seed-kernel key, but the seed kernel ignores it")
+	}
+
+	// Every certificate-relevant parameter must change the key.
+	distinct := map[string]string{
+		"base":    base,
+		"k":       CacheKey(strassen, 4, "", 0, false),
+		"kernel":  CacheKey(strassen, 3, KernelSeed, 0, false),
+		"stride":  CacheKey(strassen, 3, "", 1, false),
+		"orbits":  CacheKey(strassen, 3, "", 0, true),
+		"alg":     CacheKey(bilinear.Winograd(), 3, "", 0, false),
+		"nonfast": CacheKey(bilinear.Classical(2), 3, "", 0, false),
+	}
+	seen := map[string]string{}
+	for which, key := range distinct {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("cache keys for %q and %q collide: %s", which, prev, key)
+		}
+		seen[key] = which
+	}
+}
+
+// TestAlgorithmHashCoefficientSensitivity: the hash covers every
+// coefficient, so a single-entry perturbation changes it.
+func TestAlgorithmHashCoefficientSensitivity(t *testing.T) {
+	a, b := bilinear.Strassen(), bilinear.Strassen()
+	if AlgorithmHash(a) != AlgorithmHash(b) {
+		t.Fatal("hash not deterministic")
+	}
+	b.W[0][0] = b.W[0][0].Neg()
+	if AlgorithmHash(a) == AlgorithmHash(b) {
+		t.Fatal("flipping a decoding coefficient did not change the hash")
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+// The HTTP/JSON surface of the daemon. Mounted onto the obs debug
+// server's mux (obs.StartServerMux), so one listener serves the job
+// API next to /metrics, /healthz, and /debug/pprof.
+//
+//	POST /jobs        submit a JobSpec; 202 + job doc (200 if served
+//	                  from cache or coalesced onto an in-flight run)
+//	GET  /jobs        list all jobs, submission order
+//	GET  /jobs/{id}   one job: state, progress, final certificate
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Mount registers the job API on mux.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+}
+
+// maxSpecBytes bounds a submitted spec body; real specs are tiny.
+const maxSpecBytes = 1 << 16
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: "+err.Error())
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	doc := j.Snapshot()
+	status := http.StatusAccepted
+	if doc.State == StateDone || doc.State == StateFailed {
+		status = http.StatusOK // cache hit: the certificate is already here
+	}
+	writeDoc(w, status, doc)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	docs := make([]JobDoc, 0, len(jobs))
+	for _, j := range jobs {
+		docs = append(docs, j.Snapshot())
+	}
+	writeDoc(w, http.StatusOK, struct {
+		Jobs []JobDoc `json:"jobs"`
+	}{docs})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeDoc(w, http.StatusOK, j.Snapshot())
+}
+
+// writeDoc marshals to a buffer before writing — the same discipline
+// as the /healthz fix: never commit a status code a failed encode
+// would contradict.
+func writeDoc(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.MarshalIndent(struct {
+		Error string `json:"error"`
+	}{msg}, "", "  ")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}

@@ -1,0 +1,676 @@
+// Package serve is the verification-as-a-service core behind cmd/routed:
+// clients submit (algorithm, k, kernel, adjstride, orbits) jobs, get a
+// job ID, poll progress, and fetch the final Stats certificate.
+//
+// The paper's product is a certificate — "this routing of G_k satisfies
+// the 6aᵏ congestion bound" — and under repeated traffic the common
+// case is a certificate someone already computed. The service is built
+// around that: a content-addressed result cache (routing.CacheKey; in
+// memory plus JSON spill to disk, so restarts keep warm results),
+// single-flight coalescing so identical in-flight requests join one
+// enumeration run, and a bounded FIFO queue with a per-job worker
+// budget so concurrent tenants share the machine instead of
+// oversubscribing it. Jobs run through the checkpointed verifier with
+// a per-job checkpoint directory, so a killed daemon resumes every
+// incomplete job on restart and an interrupted certificate still comes
+// out bit-identical to an uninterrupted one.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/obs"
+	"pathrouting/internal/routing"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull rejects a submission when the bounded FIFO queue is
+	// at capacity (HTTP 503: retry later).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions during shutdown (HTTP 503).
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// JobSpec is what a client submits: the certificate-determining
+// parameters (algorithm, k, kernel, adjstride, orbits — exactly the
+// routing.CacheKey inputs) plus shardrows, a checkpoint-granularity
+// knob that cannot change the certificate and is excluded from the key.
+type JobSpec struct {
+	Alg       string `json:"alg"`
+	K         int    `json:"k"`
+	Kernel    string `json:"kernel,omitempty"`
+	AdjStride int64  `json:"adjstride,omitempty"`
+	Orbits    bool   `json:"orbits,omitempty"`
+	ShardRows int64  `json:"shardrows,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// A Job is one submitted verification request and its lifecycle state.
+// All mutable state is behind the mutex; readers use Snapshot.
+type Job struct {
+	id   string
+	spec JobSpec
+	key  string
+	alg  *bilinear.Algorithm
+	dir  string
+
+	mu        sync.Mutex
+	state     string
+	cached    bool  // result served from the cache, nothing enumerated
+	resumed   bool  // recovered from a previous daemon's job directory
+	coalesced int64 // submissions that joined this in-flight job
+	workers   map[int]routing.Progress
+	shards    *routing.ShardDone
+	stats     *statsDoc
+	cert      string
+	errMsg    string
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's (normalized) submitted spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Key returns the job's content-addressed cache key.
+func (j *Job) Key() string { return j.key }
+
+// JobDoc is a job rendered for clients (HTTP responses, result.json).
+type JobDoc struct {
+	ID          string       `json:"id"`
+	State       string       `json:"state"`
+	Spec        JobSpec      `json:"spec"`
+	Key         string       `json:"key"`
+	Cached      bool         `json:"cached"`
+	Resumed     bool         `json:"resumed,omitempty"`
+	Coalesced   int64        `json:"coalesced,omitempty"`
+	Progress    *ProgressDoc `json:"progress,omitempty"`
+	Stats       *statsDoc    `json:"stats,omitempty"`
+	Certificate string       `json:"certificate,omitempty"`
+	Error       string       `json:"error,omitempty"`
+}
+
+// ProgressDoc is the live progress block of a running job.
+type ProgressDoc struct {
+	PathsDone   int64 `json:"paths_done"`
+	PathsTotal  int64 `json:"paths_total"`
+	ShardsDone  int64 `json:"shards_done"`
+	ShardsTotal int64 `json:"shards_total"`
+}
+
+// Snapshot renders the job's current state.
+func (j *Job) Snapshot() JobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := JobDoc{
+		ID: j.id, State: j.state, Spec: j.spec, Key: j.key,
+		Cached: j.cached, Resumed: j.resumed, Coalesced: j.coalesced,
+		Stats: j.stats, Certificate: j.cert, Error: j.errMsg,
+	}
+	if j.state == StateRunning && (len(j.workers) > 0 || j.shards != nil) {
+		p := &ProgressDoc{}
+		for _, w := range j.workers {
+			p.PathsDone += w.Done
+			p.PathsTotal += w.Total
+		}
+		if j.shards != nil {
+			p.ShardsDone, p.ShardsTotal = j.shards.Done, j.shards.Total
+		}
+		doc.Progress = p
+	}
+	return doc
+}
+
+func (j *Job) onProgress(p routing.Progress) {
+	j.mu.Lock()
+	j.workers[p.Worker] = p
+	j.mu.Unlock()
+}
+
+func (j *Job) onShard(d routing.ShardDone) {
+	j.mu.Lock()
+	j.shards = &d
+	j.mu.Unlock()
+}
+
+// Options configures a Server.
+type Options struct {
+	// DataDir is the service's state root (required): job directories
+	// (spec + checkpoint + result) under jobs/, the result-cache spill
+	// under cache/.
+	DataDir string
+	// QueueDepth bounds the FIFO job queue (default 64). Submissions
+	// beyond it fail with ErrQueueFull rather than queueing unboundedly.
+	QueueDepth int
+	// Concurrency is the number of jobs running at once (default 1).
+	Concurrency int
+	// JobWorkers is the verifier goroutine budget per running job
+	// (default: GOMAXPROCS / Concurrency, at least 1), so Concurrency
+	// tenants share the machine instead of each grabbing every core.
+	JobWorkers int
+	// MaxK rejects submissions beyond this recursion depth (default 6:
+	// k=7 enumeration is the distributed roadmap item, not one box).
+	MaxK int
+	// Registry receives the service and engine metrics (one is created
+	// if nil; reuse the daemon's so /metrics shows everything).
+	Registry *obs.Registry
+	// OnShard, when non-nil, observes every shard completion of every
+	// job (cmd/routed journals these; tests use it as a failpoint).
+	OnShard func(job *Job, d routing.ShardDone)
+	// OnJobDone, when non-nil, observes every job reaching a terminal
+	// state (done or failed).
+	OnJobDone func(job *Job)
+}
+
+// A Server owns the job queue, the runners, and the result cache.
+type Server struct {
+	opts  Options
+	reg   *obs.Registry
+	ins   *routing.Instruments
+	cache *resultCache
+	met   metrics
+
+	queue   chan *Job
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	running atomic.Int64 // live enumeration count behind the gauge
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job
+	inflight map[string]*Job // cache key -> queued/running job
+	seq      int
+	draining bool
+	started  bool
+}
+
+type metrics struct {
+	submitted, completed, failed *obs.Counter
+	cacheHits, cacheMisses       *obs.Counter
+	coalesced                    *obs.Counter
+	queueDepth, running          *obs.Gauge
+	jobSeconds                   *obs.Histogram
+}
+
+// New builds a Server over opts.DataDir and recovers every incomplete
+// job it finds there into the queue (they resume from their
+// checkpoints once Start runs). Completed jobs are reloaded too, so
+// GET /jobs/{id} keeps answering across restarts.
+func New(opts Options) (*Server, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("serve: Options.DataDir is required")
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = max(1, runtime.GOMAXPROCS(0)/opts.Concurrency)
+	}
+	if opts.MaxK <= 0 {
+		opts.MaxK = 6
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	for _, sub := range []string{"jobs", "cache"} {
+		if err := os.MkdirAll(filepath.Join(opts.DataDir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	reg := opts.Registry
+	s := &Server{
+		opts:     opts,
+		reg:      reg,
+		ins:      routing.NewInstruments(reg),
+		cache:    newResultCache(filepath.Join(opts.DataDir, "cache")),
+		queue:    make(chan *Job, opts.QueueDepth),
+		stop:     make(chan struct{}),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		met: metrics{
+			submitted: reg.Counter("serve_jobs_submitted_total",
+				"verification jobs submitted (including cache hits and coalesced submissions)"),
+			completed: reg.Counter("serve_jobs_completed_total",
+				"verification jobs completed with a certificate"),
+			failed: reg.Counter("serve_jobs_failed_total",
+				"verification jobs that ended in an error"),
+			cacheHits: reg.Counter("serve_result_cache_hits_total",
+				"submissions served from the content-addressed result cache"),
+			cacheMisses: reg.Counter("serve_result_cache_misses_total",
+				"submissions that required an enumeration run"),
+			coalesced: reg.Counter("serve_jobs_coalesced_total",
+				"submissions coalesced onto an identical in-flight job"),
+			queueDepth: reg.Gauge("serve_queue_depth",
+				"jobs waiting in the FIFO queue"),
+			running: reg.Gauge("serve_jobs_running",
+				"jobs currently enumerating"),
+			jobSeconds: reg.Histogram("serve_job_seconds",
+				"wall time of one enumeration run (cache hits excluded)", obs.LatencyBuckets),
+		},
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Start launches the runner pool. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.opts.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+}
+
+// Shutdown drains the service: submissions start failing with
+// ErrDraining, running jobs stop claiming shards (their checkpoints
+// persist, so a restart resumes them), and Shutdown returns once the
+// runners have parked or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// normalize validates and canonicalizes a submitted spec, resolving
+// its algorithm from the catalog.
+func (s *Server) normalize(spec JobSpec) (JobSpec, *bilinear.Algorithm, error) {
+	spec.Alg = strings.TrimSpace(spec.Alg)
+	var alg *bilinear.Algorithm
+	for _, a := range bilinear.All() {
+		if a.Name == spec.Alg {
+			alg = a
+			break
+		}
+	}
+	if alg == nil {
+		names := make([]string, 0, 8)
+		for _, a := range bilinear.All() {
+			names = append(names, a.Name)
+		}
+		return spec, nil, fmt.Errorf("unknown algorithm %q (catalog: %s)", spec.Alg, strings.Join(names, ", "))
+	}
+	if spec.K < 1 || spec.K > s.opts.MaxK {
+		return spec, nil, fmt.Errorf("k = %d out of range [1, %d]", spec.K, s.opts.MaxK)
+	}
+	switch spec.Kernel {
+	case "":
+		spec.Kernel = routing.KernelScratch
+	case routing.KernelScratch, routing.KernelSeed:
+	default:
+		return spec, nil, fmt.Errorf("unknown kernel %q (want %q or %q)",
+			spec.Kernel, routing.KernelScratch, routing.KernelSeed)
+	}
+	if spec.AdjStride < 0 || spec.ShardRows < 0 {
+		return spec, nil, fmt.Errorf("adjstride and shardrows must be ≥ 0")
+	}
+	return spec, alg, nil
+}
+
+// Submit enqueues a job for spec, or returns the identical in-flight
+// job (single-flight coalescing), or an immediately-done job served
+// from the result cache. The returned Job may therefore be in any
+// state; clients poll it by ID either way.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec, alg, err := s.normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	key := routing.CacheKey(alg, spec.K, spec.Kernel, spec.AdjStride, spec.Orbits)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.met.submitted.Inc()
+
+	// Single-flight: an identical queued or running job absorbs this
+	// submission — one enumeration, many waiters.
+	if j := s.inflight[key]; j != nil {
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.met.coalesced.Inc()
+		return j, nil
+	}
+	// Content-addressed cache: certificates computed by any earlier
+	// run (this process or a previous one — the spill survives
+	// restarts) come back without enumerating anything.
+	if e := s.cache.get(key); e != nil {
+		s.met.cacheHits.Inc()
+		j := s.newJobLocked(spec, alg, key)
+		j.state, j.cached = StateDone, true
+		stats := e.Stats
+		j.stats, j.cert = &stats, e.Certificate
+		if err := s.persistSpec(j); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: persist %s: %v\n", j.id, err)
+		}
+		s.persistJob(j)
+		return j, nil
+	}
+	s.met.cacheMisses.Inc()
+
+	j := s.newJobLocked(spec, alg, key)
+	if err := s.persistSpec(j); err != nil {
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		return nil, err
+	}
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		os.RemoveAll(j.dir)
+		return nil, ErrQueueFull
+	}
+	s.inflight[key] = j
+	s.met.queueDepth.SetInt(int64(len(s.queue)))
+	return j, nil
+}
+
+// newJobLocked allocates and registers a job; s.mu must be held.
+func (s *Server) newJobLocked(spec JobSpec, alg *bilinear.Algorithm, key string) *Job {
+	s.seq++
+	id := fmt.Sprintf("j%08d", s.seq)
+	j := &Job{
+		id: id, spec: spec, key: key, alg: alg,
+		dir:     filepath.Join(s.opts.DataDir, "jobs", id),
+		state:   StateQueued,
+		workers: make(map[int]routing.Progress),
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	return j
+}
+
+// Get returns a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// runner pulls jobs off the FIFO queue until Shutdown.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.met.queueDepth.SetInt(int64(len(s.queue)))
+			select {
+			case <-s.stop:
+				// Drain won the race: leave the job queued on disk for
+				// the next start.
+				return
+			default:
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job through the checkpointed verifier.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	s.met.running.SetInt(s.running.Add(1))
+
+	start := time.Now()
+	st, err := routing.RunJob(routing.JobConfig{
+		Alg:            j.alg,
+		K:              j.spec.K,
+		Workers:        s.opts.JobWorkers,
+		AdjStride:      j.spec.AdjStride,
+		Kernel:         j.spec.Kernel,
+		Orbits:         j.spec.Orbits,
+		CheckpointPath: filepath.Join(j.dir, "run.ckpt"),
+		ShardRows:      j.spec.ShardRows,
+		Resume:         true, // missing checkpoint = fresh run
+		Stop:           s.stop,
+		OnShard: func(d routing.ShardDone) {
+			j.onShard(d)
+			if s.opts.OnShard != nil {
+				s.opts.OnShard(j, d)
+			}
+		},
+		Progress: j.onProgress,
+		Obs:      s.ins,
+	})
+	s.met.running.SetInt(s.running.Add(-1))
+
+	switch {
+	case err == nil:
+		s.met.jobSeconds.ObserveSince(start)
+		doc := statsOf(st)
+		cert := certificate(st)
+		j.mu.Lock()
+		j.state, j.stats, j.cert = StateDone, &doc, cert
+		j.mu.Unlock()
+		// Fill the cache before releasing the single-flight slot, so a
+		// submission racing the handoff finds one of the two.
+		if err := s.cache.put(&cacheEntry{Key: j.key, Spec: j.spec, Stats: doc, Certificate: cert}); err != nil {
+			// The certificate stands; only reuse is lost.
+			fmt.Fprintf(os.Stderr, "serve: cache spill: %v\n", err)
+		}
+		s.finishJob(j)
+		s.met.completed.Inc()
+	case errors.Is(err, routing.ErrPaused):
+		// Drained by Shutdown: back to queued. The checkpoint holds
+		// every completed shard; recovery re-enqueues it on restart.
+		j.mu.Lock()
+		j.state = StateQueued
+		j.mu.Unlock()
+	default:
+		j.mu.Lock()
+		j.state, j.errMsg = StateFailed, err.Error()
+		j.mu.Unlock()
+		s.finishJob(j)
+		s.met.failed.Inc()
+	}
+}
+
+// finishJob persists a terminal job and releases its single-flight slot.
+func (s *Server) finishJob(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	s.persistJob(j)
+	if s.opts.OnJobDone != nil {
+		s.opts.OnJobDone(j)
+	}
+}
+
+// persistSpec writes the job's spec.json, the record recovery needs
+// to resume it.
+func (s *Server) persistSpec(j *Job) error {
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return writeJSON(filepath.Join(j.dir, "spec.json"), struct {
+		ID   string  `json:"id"`
+		Key  string  `json:"key"`
+		Spec JobSpec `json:"spec"`
+	}{j.id, j.key, j.spec})
+}
+
+// persistJob writes the job's terminal result.json (best-effort: an
+// unwritable result only costs restart continuity, not the response).
+func (s *Server) persistJob(j *Job) {
+	if err := os.MkdirAll(j.dir, 0o755); err == nil {
+		if err := writeJSON(filepath.Join(j.dir, "result.json"), j.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: persist %s: %v\n", j.id, err)
+		}
+	}
+}
+
+// recover scans the jobs directory: jobs with a result.json reload as
+// terminal records; jobs without one re-enqueue (their checkpoints
+// resume where the killed daemon stopped), in original submission
+// order so FIFO fairness survives the restart.
+func (s *Server) recover() error {
+	dir := filepath.Join(s.opts.DataDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // jNNNNNNNN sorts by submission order
+	for _, name := range names {
+		jdir := filepath.Join(dir, name)
+		var specRec struct {
+			ID   string  `json:"id"`
+			Key  string  `json:"key"`
+			Spec JobSpec `json:"spec"`
+		}
+		if err := readJSON(filepath.Join(jdir, "spec.json"), &specRec); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: skipping job dir %s: %v\n", name, err)
+			continue
+		}
+		spec, alg, err := s.normalize(specRec.Spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: skipping job %s: %v\n", name, err)
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, "j%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+		j := &Job{
+			id: name, spec: spec, key: specRec.Key, alg: alg, dir: jdir,
+			workers: make(map[int]routing.Progress),
+		}
+		var doc JobDoc
+		if err := readJSON(filepath.Join(jdir, "result.json"), &doc); err == nil {
+			// Terminal job: reload the record clients may still poll.
+			j.state, j.cached = doc.State, doc.Cached
+			j.stats, j.cert, j.errMsg = doc.Stats, doc.Certificate, doc.Error
+			j.coalesced = doc.Coalesced
+		} else {
+			// Incomplete: resume it.
+			j.state, j.resumed = StateQueued, true
+			select {
+			case s.queue <- j:
+				if s.inflight[j.key] == nil {
+					s.inflight[j.key] = j
+				}
+			default:
+				return fmt.Errorf("serve: %d recovered jobs exceed queue depth %d", len(names), s.opts.QueueDepth)
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+	}
+	s.met.queueDepth.SetInt(int64(len(s.queue)))
+	return nil
+}
+
+// Health is the /healthz snapshot provider for the daemon.
+func (s *Server) Health() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := map[string]int{}
+	for _, j := range s.order {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return map[string]any{
+		"status":        "ok",
+		"draining":      s.draining,
+		"queue_depth":   len(s.queue),
+		"queue_cap":     s.opts.QueueDepth,
+		"concurrency":   s.opts.Concurrency,
+		"job_workers":   s.opts.JobWorkers,
+		"jobs":          counts,
+		"cache_entries": s.cache.size(),
+	}
+}
+
+// writeJSON atomically persists v as indented JSON (write tmp, rename).
+func writeJSON(path string, v any) error {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encode %s: %w", path, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// readJSON loads a JSON file into v.
+func readJSON(path string, v any) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	return nil
+}
