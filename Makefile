@@ -32,10 +32,11 @@ vet386:
 	GOARCH=386 $(GO) vet ./...
 
 # The routing package owns all the goroutine fan-out (parallel
-# Routing Theorem verification, lazy CSR index construction); run it
-# under the race detector on every verify.
+# Routing Theorem verification, lazy CSR index construction), and the
+# serve package layers SSE fan-out and the job broadcaster on top; run
+# both under the race detector on every verify.
 race:
-	$(GO) test -race ./internal/routing/...
+	$(GO) test -race ./internal/routing/... ./internal/serve/...
 
 bench-routing:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem .
@@ -122,7 +123,12 @@ obs-smoke:
 # (exit 2, checkpoints flushed per shard), restart over the same data
 # dir, and require the recovered job to resume and finish with a
 # certificate byte-identical to the uninterrupted run from the first
-# leg.
+# leg. The resume is watched two ways at once: an SSE stream on
+# /jobs/{id}/events whose terminal `final` event must carry the same
+# certificate the polling loop sees, and the per-job journals of both
+# daemon generations, which routelog must merge into a single trace
+# (the trace ID is persisted with the spec, so the crash and resume
+# legs share one identity).
 routed-smoke:
 	@set -e; pids=""; trap 'rm -rf $(ROUTED_DIR); [ -z "$$pids" ] || kill $$pids 2>/dev/null || true' EXIT; \
 	rm -rf $(ROUTED_DIR); mkdir -p $(ROUTED_DIR); \
@@ -158,6 +164,7 @@ routed-smoke:
 	sed -n 's/^  "certificate": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/job3.json > $(ROUTED_DIR)/fresh.cert; \
 	[ -s $(ROUTED_DIR)/fresh.cert ] || { echo "routed-smoke: no certificate in reference job"; exit 1; }; \
 	$(ROUTED_DIR)/routed -addr 127.0.0.1:0 -datadir $(ROUTED_DIR)/data2 \
+		-journal $(ROUTED_DIR)/d2.jsonl \
 		-crashaftershards 3 2> $(ROUTED_DIR)/d2.err & cpid=$$!; \
 	url2=""; i=0; while [ $$i -lt 100 ]; do \
 		url2=$$(sed -n 's/^routed listening on //p' $(ROUTED_DIR)/d2.err); \
@@ -168,11 +175,13 @@ routed-smoke:
 	if [ $$st -ne 2 ]; then echo "routed-smoke: expected failpoint exit 2, got $$st"; cat $(ROUTED_DIR)/d2.err; exit 1; fi; \
 	grep -q 'failpoint' $(ROUTED_DIR)/d2.err; \
 	$(ROUTED_DIR)/routed -addr 127.0.0.1:0 -datadir $(ROUTED_DIR)/data2 \
+		-journal $(ROUTED_DIR)/d3.jsonl \
 		2> $(ROUTED_DIR)/d3.err & pids="$$pids $$!"; \
 	url3=""; i=0; while [ $$i -lt 100 ]; do \
 		url3=$$(sed -n 's/^routed listening on //p' $(ROUTED_DIR)/d3.err); \
 		[ -n "$$url3" ] && break; i=$$((i+1)); sleep 0.1; done; \
 	if [ -z "$$url3" ]; then echo "routed-smoke: restarted daemon never announced its URL"; cat $(ROUTED_DIR)/d3.err; exit 1; fi; \
+	curl -sN "$$url3/jobs/j00000001/events" > $(ROUTED_DIR)/sse.out & pids="$$pids $$!"; \
 	ok=""; i=0; while [ $$i -lt 3600 ]; do \
 		curl -sf "$$url3/jobs/j00000001" > $(ROUTED_DIR)/job4.json; \
 		if grep -q '"state": "done"' $(ROUTED_DIR)/job4.json; then ok=1; break; fi; \
@@ -183,4 +192,20 @@ routed-smoke:
 	sed -n 's/^  "certificate": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/job4.json > $(ROUTED_DIR)/resumed.cert; \
 	cmp $(ROUTED_DIR)/resumed.cert $(ROUTED_DIR)/fresh.cert \
 		|| { echo "routed-smoke: resumed certificate differs from uninterrupted run"; exit 1; }; \
-	echo "routed-smoke: PASS — cache hit served without re-enumeration; crashed job resumed to a byte-identical certificate"
+	ok=""; i=0; while [ $$i -lt 100 ]; do \
+		if grep -q '^event: final' $(ROUTED_DIR)/sse.out 2>/dev/null; then ok=1; break; fi; \
+		i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$ok" ]; then echo "routed-smoke: SSE stream never delivered a final event"; cat $(ROUTED_DIR)/sse.out; exit 1; fi; \
+	sed -n '/^event: final/{n;s/.*"certificate":"\([^"]*\)".*/\1/p;}' $(ROUTED_DIR)/sse.out > $(ROUTED_DIR)/sse.cert; \
+	cmp $(ROUTED_DIR)/sse.cert $(ROUTED_DIR)/fresh.cert \
+		|| { echo "routed-smoke: SSE terminal certificate differs from polled certificate"; cat $(ROUTED_DIR)/sse.out; exit 1; }; \
+	tr2=$$(sed -n 's/^  "trace": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/job4.json); \
+	[ -n "$$tr2" ] || { echo "routed-smoke: resumed job has no trace ID"; cat $(ROUTED_DIR)/job4.json; exit 1; }; \
+	$(GO) run ./cmd/routelog $(ROUTED_DIR)/d2.jsonl $(ROUTED_DIR)/d3.jsonl > $(ROUTED_DIR)/routelog.out; \
+	[ $$(grep -c "^trace $$tr2" $(ROUTED_DIR)/routelog.out) -eq 1 ] \
+		|| { echo "routed-smoke: crash and resume legs did not merge into one trace"; cat $(ROUTED_DIR)/routelog.out; exit 1; }; \
+	grep "^trace $$tr2" $(ROUTED_DIR)/routelog.out | grep -q 'final paths=' \
+		|| { echo "routed-smoke: merged trace has no final"; cat $(ROUTED_DIR)/routelog.out; exit 1; }; \
+	grep -q '^ waterfall:' $(ROUTED_DIR)/routelog.out \
+		|| { echo "routed-smoke: routelog produced no waterfall"; cat $(ROUTED_DIR)/routelog.out; exit 1; }; \
+	echo "routed-smoke: PASS — cache hit served without re-enumeration; crashed job resumed to a byte-identical certificate (polled and streamed); routelog merged both legs into one trace"

@@ -410,10 +410,14 @@ func e3() {
 		r.OrbitReduction = *orbits
 		r.Progress = progressPrinter(fmt.Sprintf("E3 %s k=%d", c.alg.Name, c.k))
 		jw := journalWriter()
+		// One trace per E3 configuration run, so routelog reconstructs
+		// each A-series waterfall from the journal.
+		trace := obs.NewTraceID()
 		r.Obs = routing.NewInstruments(obsReg)
-		r.Obs.Tracer = obs.NewTracer(jw, runlog.Record{Tool: "paperrepro", Alg: c.alg.Name, K: c.k})
+		r.Obs.Tracer = obs.NewTracer(jw, runlog.Record{Tool: "paperrepro", Alg: c.alg.Name, K: c.k, Trace: trace})
 		emit := func(rec runlog.Record) {
 			rec.Tool, rec.Alg, rec.K = "paperrepro", c.alg.Name, c.k
+			rec.Trace = trace
 			if err := jw.Emit(rec); err != nil {
 				fmt.Fprintln(os.Stderr, "journal:", err)
 			}

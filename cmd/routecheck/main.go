@@ -253,9 +253,14 @@ func main() {
 		}
 		defer jw.Close()
 	}
-	base := runlog.Record{Tool: "routecheck", Alg: alg.Name, K: *k, Workers: *workers}
+	// Every run gets a trace ID so its journal records — spans,
+	// heartbeats, shard completions — group under one identity for
+	// routelog, same as routed's service jobs.
+	base := runlog.Record{Tool: "routecheck", Alg: alg.Name, K: *k, Workers: *workers,
+		Trace: obs.NewTraceID()}
 	emit := func(rec runlog.Record) {
 		rec.Tool, rec.Alg, rec.K, rec.Workers = base.Tool, base.Alg, base.K, base.Workers
+		rec.Trace = base.Trace
 		if err := jw.Emit(rec); err != nil {
 			fmt.Fprintln(os.Stderr, "journal:", err)
 		}

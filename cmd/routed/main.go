@@ -1,8 +1,9 @@
 // Command routed is the verification-as-a-service daemon: clients
 // POST (algorithm, k, kernel, adjstride, orbits) jobs to /jobs, get a
-// job ID, poll GET /jobs/{id} for live progress, and fetch the final
-// Stats certificate. One listener serves the job API next to the
-// observability surface (/metrics, /healthz, /debug/pprof).
+// job ID, poll GET /jobs/{id} or stream GET /jobs/{id}/events (SSE)
+// for live progress, and fetch the final Stats certificate. One
+// listener serves the job API next to the observability surface
+// (/metrics, /healthz, /debug/pprof).
 //
 // Usage:
 //
@@ -20,9 +21,19 @@
 // directory re-enqueues incomplete jobs and resumes them mid-run,
 // with certificates bit-identical to uninterrupted runs).
 //
-// SIGINT/SIGTERM drains gracefully: in-flight HTTP requests finish,
-// running jobs stop at the next shard boundary with their checkpoints
-// persisted, and the process exits within -draintimeout.
+// Every job carries an end-to-end trace ID — minted at submission, or
+// accepted from the client's X-Trace-Id header — stamped onto every
+// journal record and span the run emits, so `routelog -journal
+// routed.jsonl` reconstructs per-job waterfalls after the fact. The
+// journal (with -journal) records each job's run_start, shard
+// completions, heartbeats (with -heartbeat), engine spans, and final
+// stats under that trace.
+//
+// SIGINT/SIGTERM drains gracefully: the service stops claiming shards
+// and closes SSE streams (/healthz reports "draining"), in-flight
+// HTTP requests finish, running jobs stop at the next shard boundary
+// with their checkpoints persisted, and the process exits within
+// -draintimeout.
 //
 // -crashaftershards N is a failpoint: the process exits hard (no
 // drain, no final flush) after N shard completions — the seam
@@ -53,7 +64,7 @@ var (
 	jobWorkers   = flag.Int("jobworkers", 0, "verifier goroutines per running job (0 = GOMAXPROCS/jobs)")
 	maxK         = flag.Int("maxk", 6, "largest accepted recursion depth k")
 	journalPath  = flag.String("journal", "", "append JSONL run records to this file")
-	heartbeat    = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
+	heartbeat    = flag.Duration("heartbeat", 30*time.Second, "per-job heartbeat cadence, journal records and SSE events (0 = off)")
 	drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
 	crashAfter   = flag.Int64("crashaftershards", 0, "failpoint: exit hard after N shard completions (0 = off)")
 )
@@ -80,7 +91,9 @@ func main() {
 	// The failpoint counts real (non-restored) shard completions across
 	// all jobs. OnShard fires after the shard is merged but before its
 	// checkpoint flush, so dying on the Nth callback leaves N-1 shards
-	// durable — a genuine mid-job kill, not a tidy pause.
+	// durable — a genuine mid-job kill, not a tidy pause. All journaling
+	// (per-job shard/heartbeat/final records, trace-stamped) lives in
+	// internal/serve now; the daemon only owns the failpoint.
 	var shardCount atomic.Int64
 	opts := serve.Options{
 		DataDir:     *dataDir,
@@ -89,39 +102,13 @@ func main() {
 		JobWorkers:  *jobWorkers,
 		MaxK:        *maxK,
 		Registry:    reg,
-		OnShard: func(j *serve.Job, d routing.ShardDone) {
-			spec := j.Spec()
-			_ = jw.Emit(runlog.Record{
-				Event: runlog.EventShardDone, Tool: "routed",
-				Alg: spec.Alg, K: spec.K,
-				Shard: d.Shard, ShardsDone: d.Done, ShardsTotal: d.Total,
-				ShardPaths: d.Paths,
-			})
+		Journal:     jw,
+		Heartbeat:   *heartbeat,
+		OnShard: func(_ *serve.Job, d routing.ShardDone) {
 			if *crashAfter > 0 && !d.Restored && shardCount.Add(1) >= *crashAfter {
 				fmt.Fprintf(os.Stderr, "routed: failpoint: exiting after %d shard completions\n", *crashAfter)
 				os.Exit(2)
 			}
-		},
-		OnJobDone: func(j *serve.Job) {
-			doc := j.Snapshot()
-			rec := runlog.Record{
-				Event: runlog.EventFinal, Tool: "routed",
-				Alg: doc.Spec.Alg, K: doc.Spec.K,
-				Resumed: doc.Resumed, Error: doc.Error,
-			}
-			if doc.Stats != nil {
-				rec.Paths = doc.Stats.Paths
-				rec.TotalHits = doc.Stats.TotalHits
-				rec.MaxVertexHits = doc.Stats.MaxVertexHits
-				rec.MaxMetaHits = doc.Stats.MaxMetaHits
-				rec.Bound = doc.Stats.Bound
-				rec.AdjChecked = doc.Stats.AdjChecked
-				rec.ElapsedSec = doc.Stats.ElapsedSec
-				if doc.Stats.ElapsedSec > 0 {
-					rec.PathsPerSec = float64(doc.Stats.Paths) / doc.Stats.ElapsedSec
-				}
-			}
-			_ = jw.Emit(rec)
 		},
 	}
 
@@ -133,9 +120,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Daemon-lifecycle record: process start, no trace (per-job
+	// run_start records carry the traces).
 	_ = jw.Emit(runlog.Record{Event: runlog.EventRunStart, Tool: "routed"})
-	stopHeartbeat := obs.StartHeartbeat(jw, runlog.Record{Tool: "routed"}, reg, *heartbeat)
-	defer stopHeartbeat()
 	s.Start()
 	fmt.Fprintf(os.Stderr, "routed listening on %s\n", srv.URL())
 
@@ -146,9 +133,14 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// HTTP first, so clients mid-poll get complete bodies and new
-	// submissions stop at the socket; then the job drain, so running
-	// enumerations checkpoint their last shard before the process exits.
+	// Drain order matters: BeginDrain first, so open SSE streams end
+	// (they watch the serve stop channel) and /healthz flips to
+	// "draining" — otherwise srv.Shutdown would hang on live streams
+	// until the deadline. Then the HTTP listener, so in-flight requests
+	// finish with complete bodies and new submissions stop at the
+	// socket. Then the job drain, so running enumerations checkpoint
+	// their last shard before the process exits.
+	s.BeginDrain()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 	}

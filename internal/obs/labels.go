@@ -1,0 +1,277 @@
+package obs
+
+// Labeled metric families. A *Vec is one registered metric name whose
+// time series split by a fixed set of label keys — the Prometheus
+// `name{key="val"} value` exposition — so a family like
+// serve_submissions_total can split by outcome (hit/miss/coalesced)
+// without minting a metric name per outcome. Children are ordinary
+// Counters/Histograms (lock-free atomics, nil-safe), created on first
+// With() and cached, so the steady-state cost of a labeled update is
+// identical to an unlabeled one when the caller holds the child.
+//
+// The label mechanism is deliberately small: fixed keys per family,
+// values escaped per the exposition format, children rendered sorted
+// by label signature under one HELP/TYPE header. No dynamic key sets,
+// no removal — verification services have bounded, enumerable label
+// values (job outcomes, kernels), not unbounded cardinality.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// renderLabels builds the canonical `k1="v1",k2="v2"` signature.
+func renderLabels(keys, values []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// mustLabelKeys validates a family's label keys at registration (same
+// charset as metric names, minus the colon reserved for exposition
+// conventions).
+func mustLabelKeys(name string, keys []string) []string {
+	if len(keys) == 0 {
+		panic(fmt.Sprintf("obs: labeled family %q needs at least one label key", name))
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k == "" || k == "le" || seen[k] {
+			panic(fmt.Sprintf("obs: family %q: invalid or duplicate label key %q", name, k))
+		}
+		seen[k] = true
+		for i, c := range k {
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			case c >= '0' && c <= '9' && i > 0:
+			default:
+				panic(fmt.Sprintf("obs: family %q: invalid label key %q", name, k))
+			}
+		}
+	}
+	return append([]string(nil), keys...)
+}
+
+// A CounterVec is a family of counters sharing one name and HELP/TYPE
+// header, split by a fixed label-key set.
+type CounterVec struct {
+	name, help string
+	keys       []string
+	mu         sync.Mutex
+	children   map[string]*Counter
+}
+
+// CounterVec returns the registered counter family of the given name,
+// creating it on first use. Re-registering the name as a different
+// kind (or with different keys) panics.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	v := &CounterVec{
+		name: mustMetricName(name), help: help,
+		keys:     mustLabelKeys(name, keys),
+		children: make(map[string]*Counter),
+	}
+	m := r.register(v)
+	have, ok := m.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a counter family", name))
+	}
+	if have != v && !equalKeys(have.keys, v.keys) {
+		panic(fmt.Sprintf("obs: counter family %q re-registered with keys %v, want %v", name, v.keys, have.keys))
+	}
+	return have
+}
+
+// With returns the family's child for the given label values (one per
+// key, in key order), creating it on first use. Nil-safe: a nil vec
+// returns a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: family %q got %d label values for keys %v", v.name, len(values), v.keys))
+	}
+	sig := renderLabels(v.keys, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[sig]
+	if c == nil {
+		c = &Counter{name: v.name, labels: sig}
+		v.children[sig] = c
+	}
+	return c
+}
+
+func (v *CounterVec) metricName() string { return v.name }
+
+func (v *CounterVec) write(w io.Writer) error {
+	if err := writeHeader(w, v.name, v.help, "counter"); err != nil {
+		return err
+	}
+	for _, c := range v.sorted() {
+		if err := c.writeValue(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *CounterVec) snapshot(into map[string]float64) {
+	for _, c := range v.sorted() {
+		c.snapshot(into)
+	}
+}
+
+// sorted returns the children ordered by label signature, so
+// exposition and snapshots are deterministic and diffable.
+func (v *CounterVec) sorted() []*Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	sigs := make([]string, 0, len(v.children))
+	for sig := range v.children {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*Counter, 0, len(sigs))
+	for _, sig := range sigs {
+		out = append(out, v.children[sig])
+	}
+	return out
+}
+
+// A HistogramVec is a family of fixed-bucket histograms sharing one
+// name, bucket bounds, and HELP/TYPE header, split by label values.
+type HistogramVec struct {
+	name, help string
+	keys       []string
+	bounds     []float64
+	mu         sync.Mutex
+	children   map[string]*Histogram
+}
+
+// HistogramVec returns the registered histogram family of the given
+// name, creating it with the given bounds on first use.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, keys ...string) *HistogramVec {
+	v := &HistogramVec{
+		name: mustMetricName(name), help: help,
+		keys:     mustLabelKeys(name, keys),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*Histogram),
+	}
+	for i := 1; i < len(v.bounds); i++ {
+		if v.bounds[i] <= v.bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram family %q bounds not sorted ascending", name))
+		}
+	}
+	m := r.register(v)
+	have, ok := m.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a histogram family", name))
+	}
+	if have != v && !equalKeys(have.keys, v.keys) {
+		panic(fmt.Sprintf("obs: histogram family %q re-registered with keys %v, want %v", name, v.keys, have.keys))
+	}
+	return have
+}
+
+// With returns the family's child histogram for the given label
+// values, creating it on first use. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: family %q got %d label values for keys %v", v.name, len(values), v.keys))
+	}
+	sig := renderLabels(v.keys, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[sig]
+	if h == nil {
+		h = &Histogram{name: v.name, labels: sig, bounds: v.bounds}
+		h.buckets = make([]atomic.Int64, len(v.bounds)+1)
+		v.children[sig] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) metricName() string { return v.name }
+
+func (v *HistogramVec) write(w io.Writer) error {
+	if err := writeHeader(w, v.name, v.help, "histogram"); err != nil {
+		return err
+	}
+	for _, h := range v.sortedH() {
+		if err := h.writeValue(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *HistogramVec) snapshot(into map[string]float64) {
+	for _, h := range v.sortedH() {
+		h.snapshot(into)
+	}
+}
+
+func (v *HistogramVec) sortedH() []*Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	sigs := make([]string, 0, len(v.children))
+	for sig := range v.children {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*Histogram, 0, len(sigs))
+	for _, sig := range sigs {
+		out = append(out, v.children[sig])
+	}
+	return out
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCounterVecExposition: children render sorted under one
+// HELP/TYPE header, and snapshots key by the labeled series name.
+func TestCounterVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("serve_submissions_total", "Submissions by outcome.", "outcome")
+	v.With("miss").Add(3)
+	v.With("hit").Add(2)
+	v.With("miss").Inc()
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "# HELP serve_submissions_total Submissions by outcome.\n" +
+		"# TYPE serve_submissions_total counter\n" +
+		`serve_submissions_total{outcome="hit"} 2` + "\n" +
+		`serve_submissions_total{outcome="miss"} 4` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition:\n%s\nwant block:\n%s", out, want)
+	}
+	if strings.Count(out, "# TYPE serve_submissions_total") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+
+	snap := reg.Snapshot()
+	if snap[`serve_submissions_total{outcome="hit"}`] != 2 ||
+		snap[`serve_submissions_total{outcome="miss"}`] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// Same family handle on re-registration; same child on same values.
+	if reg.CounterVec("serve_submissions_total", "", "outcome") != v {
+		t.Fatal("re-registration returned a different family")
+	}
+	if v.With("hit") != v.With("hit") {
+		t.Fatal("With is not cached")
+	}
+}
+
+// TestLabelValueEscaping: quotes, backslashes, and newlines in label
+// values must render escaped per the exposition format.
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("weird_total", "", "msg").With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `weird_total{msg="a\\b\"c\nd"} 1`) {
+		t.Fatalf("exposition:\n%s", b.String())
+	}
+}
+
+// TestHistogramVecExposition: labeled histograms merge their label set
+// with the le bucket label and keep per-child count/sum series.
+func TestHistogramVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("serve_job_seconds", "Job wall time.", []float64{1, 10}, "outcome")
+	v.With("miss").Observe(0.5)
+	v.With("miss").Observe(5)
+	v.With("hit").Observe(0.1)
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`serve_job_seconds_bucket{outcome="hit",le="1"} 1`,
+		`serve_job_seconds_bucket{outcome="hit",le="+Inf"} 1`,
+		`serve_job_seconds_bucket{outcome="miss",le="1"} 1`,
+		`serve_job_seconds_bucket{outcome="miss",le="10"} 2`,
+		`serve_job_seconds_bucket{outcome="miss",le="+Inf"} 2`,
+		`serve_job_seconds_count{outcome="miss"} 2`,
+		`serve_job_seconds_count{outcome="hit"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE serve_job_seconds") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+	snap := reg.Snapshot()
+	if snap[`serve_job_seconds_count{outcome="miss"}`] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[`serve_job_seconds_sum{outcome="miss"}`] != 5.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestVecNilAndPanics: nil vecs no-op; misuse panics at registration
+// or first use, never silently misrecords.
+func TestVecNilAndPanics(t *testing.T) {
+	var cv *CounterVec
+	cv.With("x").Inc() // nil vec -> nil counter -> no-op
+	var hv *HistogramVec
+	hv.With("x").Observe(1)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	mustPanic("no keys", func() { reg.CounterVec("a_total", "") })
+	mustPanic("le key", func() { reg.CounterVec("b_total", "", "le") })
+	mustPanic("dup key", func() { reg.CounterVec("c_total", "", "k", "k") })
+	mustPanic("bad key charset", func() { reg.CounterVec("d_total", "", "bad-key") })
+	v := reg.CounterVec("e_total", "", "outcome")
+	mustPanic("arity", func() { v.With("a", "b") })
+	mustPanic("kind clash", func() { reg.Counter("e_total", "") })
+	mustPanic("key clash", func() { reg.CounterVec("e_total", "", "other") })
+	h := reg.HistogramVec("f_seconds", "", []float64{1, 2}, "outcome")
+	mustPanic("hist arity", func() { h.With() })
+	mustPanic("hist bounds", func() { reg.HistogramVec("g_seconds", "", []float64{2, 1}, "k") })
+}

@@ -27,6 +27,25 @@ func NewTracer(w *runlog.Writer, base runlog.Record) *Tracer {
 	return &Tracer{w: w, base: base}
 }
 
+// WithJob returns a derived tracer whose spans additionally carry the
+// job's trace identity (schema-3 `trace`/`job` fields). Empty fields
+// in tc leave the base record's values in place, so a tracer already
+// stamped with a trace keeps it. Nil-safe: a nil tracer stays nil, so
+// the disabled path stays free.
+func (t *Tracer) WithJob(tc TraceContext) *Tracer {
+	if t == nil {
+		return nil
+	}
+	base := t.base
+	if tc.TraceID != "" {
+		base.Trace = tc.TraceID
+	}
+	if tc.JobID != "" {
+		base.Job = tc.JobID
+	}
+	return &Tracer{w: t.w, base: base, OnError: t.OnError}
+}
+
 // A Span is one named, timed section of a run. End emits it; a nil
 // span (from a nil tracer) ignores every call.
 type Span struct {

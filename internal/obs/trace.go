@@ -1,0 +1,84 @@
+package obs
+
+// End-to-end trace identity. A verification job gets one trace ID at
+// submission (minted here, or accepted from the client), and that ID
+// rides a context.Context through the service into the engine, so
+// every schema-3 runlog record a run emits — spans, heartbeats, shard
+// completions, the final certificate — carries the same `trace` (and
+// `job`) fields. A journal is then self-describing: cmd/routelog can
+// reconstruct a run's full span waterfall from the journal alone,
+// and a distributed coordinator can stamp the same trace across
+// shard leases on many machines.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// NewTraceID mints a random 128-bit trace ID as 32 lowercase hex
+// characters (the W3C trace-context width).
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a broken
+		// entropy source is not worth failing a verification over.
+		panic(fmt.Sprintf("obs: trace id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// MaxTraceIDLen bounds accepted trace IDs: long enough for any
+// hex/UUID convention, short enough that a hostile header cannot
+// bloat every journal record.
+const MaxTraceIDLen = 64
+
+// ValidTraceID reports whether a client-supplied trace ID is
+// acceptable: 1..MaxTraceIDLen characters of [0-9A-Za-z_-]. The
+// charset keeps IDs safe to embed in JSON journals, Prometheus label
+// values, URLs, and log lines without escaping.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > MaxTraceIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// A TraceContext is the identity a job's run carries: the end-to-end
+// trace ID and the executing service's job ID. Either field may be
+// empty (a bare CLI run has a trace but no job).
+type TraceContext struct {
+	TraceID string
+	JobID   string
+}
+
+// IsZero reports whether the context carries no identity at all.
+func (tc TraceContext) IsZero() bool { return tc.TraceID == "" && tc.JobID == "" }
+
+// traceCtxKey carries the ambient TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc, for RunJob-shaped
+// entry points to recover with TraceContextFrom.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the context's trace identity, or the zero
+// TraceContext. Safe on nil.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"pathrouting/internal/runlog"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace ID %q: want 32 hex chars", id)
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("minted trace ID %q fails ValidTraceID", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "abc123", "A-b_c", NewTraceID()} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	long := make([]byte, MaxTraceIDLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "new\nline", `quo"te`, string(long)} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "deadbeef", JobID: "j00000001"}
+	ctx := WithTraceContext(context.Background(), tc)
+	if got := TraceContextFrom(ctx); got != tc {
+		t.Fatalf("TraceContextFrom = %+v, want %+v", got, tc)
+	}
+	if got := TraceContextFrom(context.Background()); !got.IsZero() {
+		t.Fatalf("empty context yielded %+v", got)
+	}
+	if got := TraceContextFrom(nil); !got.IsZero() { //nolint:staticcheck // nil-safety is the contract
+		t.Fatalf("nil context yielded %+v", got)
+	}
+	if tc.IsZero() || (TraceContext{}).IsZero() != true {
+		t.Fatal("IsZero misclassifies")
+	}
+}
+
+// TestTracerWithJob: a derived tracer stamps the trace identity onto
+// every span it emits, without mutating the parent tracer.
+func TestTracerWithJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := runlog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := NewTracer(w, runlog.Record{Tool: "routed", Alg: "strassen", K: 4})
+	child := parent.WithJob(TraceContext{TraceID: "cafef00d", JobID: "j00000042"})
+
+	child.StartSpan("job_run").End()
+	parent.StartSpan("untraced").End()
+	// Empty fields leave an existing stamp in place.
+	child.WithJob(TraceContext{}).StartSpan("inherited").End()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := journalRecords(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("journal has %d records, want 3", len(recs))
+	}
+	if recs[0].Trace != "cafef00d" || recs[0].Job != "j00000042" || recs[0].Alg != "strassen" {
+		t.Fatalf("traced span = %+v", recs[0])
+	}
+	if recs[1].Trace != "" || recs[1].Job != "" {
+		t.Fatalf("parent tracer was mutated: %+v", recs[1])
+	}
+	if recs[2].Trace != "cafef00d" || recs[2].Job != "j00000042" {
+		t.Fatalf("derived-from-derived span = %+v", recs[2])
+	}
+
+	var nilTracer *Tracer
+	if nilTracer.WithJob(TraceContext{TraceID: "x"}) != nil {
+		t.Fatal("nil tracer must derive to nil")
+	}
+}

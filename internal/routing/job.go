@@ -11,13 +11,17 @@ package routing
 // regardless of how their algorithm objects were constructed.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/cdag"
+	"pathrouting/internal/obs"
 	"pathrouting/internal/rat"
 )
 
@@ -77,7 +81,14 @@ func validKernel(name string) bool {
 // Theorem verifier with cfg's options. The error surface is the union
 // of construction errors, ErrPaused (stopped via cfg.Stop or an
 // executor's shard budget), and the verifier's violation errors.
-func RunJob(cfg JobConfig) (Stats, error) {
+//
+// ctx carries the job's trace identity (obs.WithTraceContext): when
+// present, cfg.Obs is derived per job so every span, heartbeat, and
+// metric flush the engine emits carries the trace and job IDs, and
+// the whole run is wrapped in a `job_run` span. ctx is observability
+// plumbing only — cancellation still flows through cfg.Stop, which
+// drains to a durable checkpoint instead of aborting mid-shard.
+func RunJob(ctx context.Context, cfg JobConfig) (Stats, error) {
 	if cfg.Alg == nil {
 		return Stats{}, fmt.Errorf("routing: job has no algorithm")
 	}
@@ -85,6 +96,20 @@ func RunJob(cfg JobConfig) (Stats, error) {
 		return Stats{}, fmt.Errorf("routing: unknown kernel %q (want %q or %q)",
 			cfg.Kernel, KernelScratch, KernelSeed)
 	}
+	in := cfg.Obs
+	if tc := obs.TraceContextFrom(ctx); !tc.IsZero() {
+		in = in.WithJob(tc)
+	}
+	span := in.startSpan("job_run")
+	span.SetAttr("alg", cfg.Alg.Name)
+	span.SetAttr("k", strconv.Itoa(cfg.K))
+	kernel := cfg.Kernel
+	if kernel == "" {
+		kernel = KernelScratch
+	}
+	span.SetAttr("kernel", kernel)
+	defer span.End()
+
 	g, err := cdag.New(cfg.Alg, cfg.K)
 	if err != nil {
 		return Stats{}, err
@@ -97,8 +122,8 @@ func RunJob(cfg JobConfig) (Stats, error) {
 	r.SeedEnumeration = cfg.Kernel == KernelSeed
 	r.OrbitReduction = cfg.Orbits
 	r.Progress = cfg.Progress
-	r.Obs = cfg.Obs
-	return r.VerifyFullRoutingCheckpointed(cfg.Workers, CheckpointConfig{
+	r.Obs = in
+	stats, err := r.VerifyFullRoutingCheckpointed(cfg.Workers, CheckpointConfig{
 		Path:       cfg.CheckpointPath,
 		ShardRows:  cfg.ShardRows,
 		FlushEvery: cfg.FlushEvery,
@@ -106,6 +131,15 @@ func RunJob(cfg JobConfig) (Stats, error) {
 		Stop:       cfg.Stop,
 		OnShard:    cfg.OnShard,
 	})
+	switch {
+	case err == nil:
+		span.SetAttr("paths", strconv.FormatInt(stats.NumPaths, 10))
+	case errors.Is(err, ErrPaused):
+		span.SetAttr("paused", "true")
+	default:
+		span.SetAttr("error", err.Error())
+	}
+	return stats, err
 }
 
 // AlgorithmHash returns a stable hex digest of alg's complete

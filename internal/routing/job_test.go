@@ -7,6 +7,7 @@ package routing
 // must drain a run into a resumable checkpoint.
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -26,7 +27,7 @@ func TestRunJobMatchesVerifier(t *testing.T) {
 	want.Elapsed = 0
 
 	var shards int
-	st, err := RunJob(JobConfig{
+	st, err := RunJob(context.Background(), JobConfig{
 		Alg: bilinear.Strassen(), K: 2, Workers: 2,
 		CheckpointPath: filepath.Join(t.TempDir(), "job.ckpt"),
 		Resume:         true,
@@ -48,16 +49,16 @@ func TestRunJobMatchesVerifier(t *testing.T) {
 // enumeration runs.
 func TestRunJobValidation(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "job.ckpt")
-	if _, err := RunJob(JobConfig{K: 2, CheckpointPath: ckpt}); err == nil {
+	if _, err := RunJob(context.Background(), JobConfig{K: 2, CheckpointPath: ckpt}); err == nil {
 		t.Fatal("nil algorithm accepted")
 	}
-	if _, err := RunJob(JobConfig{Alg: bilinear.Strassen(), K: 0, CheckpointPath: ckpt}); err == nil {
+	if _, err := RunJob(context.Background(), JobConfig{Alg: bilinear.Strassen(), K: 0, CheckpointPath: ckpt}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := RunJob(JobConfig{Alg: bilinear.Strassen(), K: 2, Kernel: "quantum", CheckpointPath: ckpt}); err == nil {
+	if _, err := RunJob(context.Background(), JobConfig{Alg: bilinear.Strassen(), K: 2, Kernel: "quantum", CheckpointPath: ckpt}); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
-	if _, err := RunJob(JobConfig{Alg: bilinear.Strassen(), K: 2}); err == nil {
+	if _, err := RunJob(context.Background(), JobConfig{Alg: bilinear.Strassen(), K: 2}); err == nil {
 		t.Fatal("missing checkpoint path accepted")
 	}
 }
@@ -66,7 +67,7 @@ func TestRunJobValidation(t *testing.T) {
 // granularity with a resumable checkpoint; resuming completes to
 // Stats bit-identical to an uninterrupted run.
 func TestRunJobStopDrains(t *testing.T) {
-	want, err := RunJob(JobConfig{
+	want, err := RunJob(context.Background(), JobConfig{
 		Alg: bilinear.Strassen(), K: 3, Workers: 2,
 		CheckpointPath: filepath.Join(t.TempDir(), "fresh.ckpt"), Resume: true,
 	})
@@ -86,7 +87,7 @@ func TestRunJobStopDrains(t *testing.T) {
 			}
 		},
 	}
-	st, err := RunJob(cfg)
+	st, err := RunJob(context.Background(), cfg)
 	if !errors.Is(err, ErrPaused) {
 		t.Fatalf("drained run: err = %v, want ErrPaused", err)
 	}
@@ -102,7 +103,7 @@ func TestRunJobStopDrains(t *testing.T) {
 	}
 
 	cfg.Stop, cfg.OnShard = nil, nil
-	st, err = RunJob(cfg)
+	st, err = RunJob(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

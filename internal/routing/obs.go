@@ -86,6 +86,31 @@ func NewInstruments(reg *obs.Registry) *Instruments {
 	}
 }
 
+// WithJob returns a derived bundle sharing this one's metrics (the
+// counters and histograms are the same registered instruments) but
+// whose tracer stamps the job's trace identity onto every span, and
+// whose run-local state (start time, restored-path credit) is fresh.
+// The struct is rebuilt field by field — Instruments embeds atomics
+// and must never be copied wholesale. Nil-safe.
+func (in *Instruments) WithJob(tc obs.TraceContext) *Instruments {
+	if in == nil {
+		return nil
+	}
+	return &Instruments{
+		Paths:            in.Paths,
+		AdjChecks:        in.AdjChecks,
+		PathsPerSec:      in.PathsPerSec,
+		PeakVertexHits:   in.PeakVertexHits,
+		ShardEnumerate:   in.ShardEnumerate,
+		ShardsDone:       in.ShardsDone,
+		ShardsSkipped:    in.ShardsSkipped,
+		OrbitGroups:      in.OrbitGroups,
+		CheckpointFsync:  in.CheckpointFsync,
+		CheckpointRename: in.CheckpointRename,
+		Tracer:           in.Tracer.WithJob(tc),
+	}
+}
+
 // noteStart records the engine start the throughput gauge divides by.
 // Keeps the earliest start across E3-style back-to-back runs sharing
 // one bundle simple: each verification resets it.

@@ -21,11 +21,13 @@ import (
 
 // SchemaVersion is stamped into every record so future readers can
 // evolve the format without guessing. Schema 2 adds the span and
-// heartbeat event types (see internal/obs); schema-1 records remain
+// heartbeat event types (see internal/obs); schema 3 adds the
+// trace/job identity fields, so every record of a service job links
+// back to its end-to-end trace. Schema-1 and schema-2 records remain
 // valid, and readers skip event types they do not know, so journals
-// mixing both schemas — or containing events from a future schema —
+// mixing schemas — or containing events from a future schema —
 // summarize without error.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // Event names. A journal may contain any mix, across multiple runs.
 const (
@@ -53,6 +55,13 @@ type Record struct {
 	Alg     string `json:"alg,omitempty"`
 	K       int    `json:"k,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+
+	// trace propagation (schema 3): the end-to-end trace ID minted (or
+	// accepted) at submission, and the executing service's job ID.
+	// Every record a traced run emits carries both, so one journal
+	// reconstructs per-job waterfalls (see Traces / cmd/routelog).
+	Trace string `json:"trace,omitempty"`
+	Job   string `json:"job,omitempty"`
 
 	// shard_done
 	Shard       int64 `json:"shard,omitempty"`
@@ -138,6 +147,7 @@ type Summary struct {
 	ShardsDone int64 // shard_done events (re-runs of a shard count once each)
 	Spans      int   // span events (schema 2)
 	Heartbeats int   // heartbeat events (schema 2)
+	Traces     int   // distinct trace IDs (schema 3)
 	Unknown    int   // parsable records of event types this reader does not know
 	// ByRun holds one entry per (tool, alg, k) configuration seen, in
 	// first-appearance order.
@@ -172,6 +182,7 @@ func (s *Summary) runFor(rec Record) *RunSummary {
 // killed runs, other formats) are counted in Skipped, never fatal.
 func Summarize(r io.Reader) (*Summary, error) {
 	s := &Summary{}
+	traces := make(map[string]struct{})
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -185,6 +196,9 @@ func Summarize(r io.Reader) (*Summary, error) {
 			continue
 		}
 		s.Records++
+		if rec.Trace != "" {
+			traces[rec.Trace] = struct{}{}
+		}
 		switch rec.Event {
 		case EventRunStart:
 			s.Runs++
@@ -219,6 +233,7 @@ func Summarize(r io.Reader) (*Summary, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
+	s.Traces = len(traces)
 	return s, nil
 }
 
@@ -240,6 +255,9 @@ func (s *Summary) Format() string {
 	if s.Spans > 0 || s.Heartbeats > 0 || s.Unknown > 0 {
 		fmt.Fprintf(&b, "  observability: %d spans, %d heartbeats, %d unknown-event records\n",
 			s.Spans, s.Heartbeats, s.Unknown)
+	}
+	if s.Traces > 0 {
+		fmt.Fprintf(&b, "  traces: %d distinct trace IDs (inspect with routelog)\n", s.Traces)
 	}
 	runs := append([]RunSummary(nil), s.ByRun...)
 	sort.SliceStable(runs, func(i, j int) bool {

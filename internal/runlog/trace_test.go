@@ -1,0 +1,195 @@
+package runlog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceJournal is a hand-built schema-3 journal: one traced job with
+// spans, shards, a heartbeat and a final; one untraced schema-2 run;
+// and a torn tail.
+const traceJournal = `{"schema":3,"event":"run_start","tool":"routed","alg":"strassen","k":4,"trace":"aaaa","job":"j00000001","time":"2026-01-01T00:00:00Z"}
+{"schema":3,"event":"span","span":"shard_enumerate","trace":"aaaa","job":"j00000001","span_start":"2026-01-01T00:00:00Z","dur_sec":1.0,"attrs":{"shard":"0"},"time":"2026-01-01T00:00:01Z"}
+{"schema":3,"event":"shard_done","trace":"aaaa","job":"j00000001","shard":0,"shards_done":1,"shards_total":2,"shard_paths":100,"time":"2026-01-01T00:00:01Z"}
+{"schema":3,"event":"span","span":"shard_enumerate","trace":"aaaa","job":"j00000001","span_start":"2026-01-01T00:00:01Z","dur_sec":3.0,"attrs":{"shard":"1"},"time":"2026-01-01T00:00:04Z"}
+{"schema":3,"event":"shard_done","trace":"aaaa","job":"j00000001","shard":1,"shards_done":2,"shards_total":2,"shard_paths":300,"time":"2026-01-01T00:00:04Z"}
+{"schema":3,"event":"heartbeat","trace":"aaaa","job":"j00000001","metrics":{"x":1},"time":"2026-01-01T00:00:02Z"}
+{"schema":3,"event":"final","trace":"aaaa","job":"j00000001","paths":400,"time":"2026-01-01T00:00:04Z"}
+{"schema":2,"event":"span","tool":"routecheck","alg":"classical","k":2,"span":"checkpoint_persist","dur_sec":0.5,"time":"2026-01-01T01:00:00Z"}
+{"schema":2,"event":"span","tool":"routec`
+
+func TestCollectTracesGroupsAndTimes(t *testing.T) {
+	ts, err := CollectTraces(strings.NewReader(traceJournal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Records != 8 || ts.Skipped != 1 {
+		t.Fatalf("records=%d skipped=%d, want 8/1", ts.Records, ts.Skipped)
+	}
+	if len(ts.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(ts.Traces))
+	}
+
+	tr := ts.Traces[0]
+	if tr.ID != "aaaa" || !tr.Traced || tr.Job != "j00000001" || tr.Alg != "strassen" || tr.K != 4 {
+		t.Fatalf("trace identity = %+v", tr)
+	}
+	if len(tr.Spans) != 2 || len(tr.Shards) != 2 || tr.Heartbeats != 1 {
+		t.Fatalf("trace contents = %+v", tr)
+	}
+	if tr.Final == nil || tr.Final.Paths != 400 {
+		t.Fatalf("final = %+v", tr.Final)
+	}
+	if got := tr.End.Sub(tr.Start); got != 4*time.Second {
+		t.Fatalf("extent = %v, want 4s", got)
+	}
+
+	// The schema-2 span without trace or job groups by (tool, alg, k),
+	// with its start reconstructed from time minus duration.
+	un := ts.Traces[1]
+	if un.Traced || !strings.Contains(un.ID, "untraced") || len(un.Spans) != 1 {
+		t.Fatalf("untraced group = %+v", un)
+	}
+	if got := un.Spans[0].Start.Format(time.RFC3339); got != "2026-01-01T00:59:59Z" {
+		t.Fatalf("reconstructed start = %s", got)
+	}
+}
+
+func TestWaterfallRendering(t *testing.T) {
+	ts, err := CollectTraces(strings.NewReader(traceJournal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ts.Traces[0]
+	out := tr.Waterfall(40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + two spans
+		t.Fatalf("waterfall:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "shard_enumerate(shard=0)") ||
+		!strings.Contains(lines[2], "shard_enumerate(shard=1)") {
+		t.Fatalf("waterfall rows:\n%s", out)
+	}
+	// Span 0 covers [0s,1s] of a 4s extent -> 10 of 40 columns; span 1
+	// covers [1s,4s] -> 30 columns, offset 10.
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)+strings.Repeat(" ", 30)) {
+		t.Fatalf("span 0 bar misplaced:\n%s", out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat(" ", 10)+strings.Repeat("#", 30)) {
+		t.Fatalf("span 1 bar misplaced:\n%s", out)
+	}
+
+	// Row capping collapses the tail.
+	capped := tr.Waterfall(40, 1)
+	if !strings.Contains(capped, "… 1 more spans") {
+		t.Fatalf("capped waterfall:\n%s", capped)
+	}
+	if (&Trace{}).Waterfall(40, 10) != "" {
+		t.Fatal("empty trace must render an empty waterfall")
+	}
+}
+
+func TestHeaderAndLatencies(t *testing.T) {
+	ts, err := CollectTraces(strings.NewReader(traceJournal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := ts.Traces[0].Header()
+	for _, want := range []string{"trace aaaa", "routed strassen k=4", "job=j00000001",
+		"2 spans", "2 shard events", "1 heartbeats", "final paths=400"} {
+		if !strings.Contains(head, want) {
+			t.Fatalf("header missing %q: %s", want, head)
+		}
+	}
+
+	lats := ts.SpanLatencies()
+	if len(lats) != 2 {
+		t.Fatalf("latencies = %+v", lats)
+	}
+	// Sorted by name: checkpoint_persist then shard_enumerate.
+	if lats[0].Name != "checkpoint_persist" || lats[0].Count != 1 || lats[0].P50 != 0.5 {
+		t.Fatalf("latency[0] = %+v", lats[0])
+	}
+	if lats[1].Name != "shard_enumerate" || lats[1].Count != 2 ||
+		lats[1].P50 != 1.0 || lats[1].P99 != 3.0 || lats[1].Max != 3.0 {
+		t.Fatalf("latency[1] = %+v", lats[1])
+	}
+	tbl := FormatLatencies(lats)
+	if !strings.Contains(tbl, "shard_enumerate") || !strings.Contains(tbl, "p95") {
+		t.Fatalf("latency table:\n%s", tbl)
+	}
+}
+
+func TestShardTimeline(t *testing.T) {
+	ts, err := CollectTraces(strings.NewReader(traceJournal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ts.Traces[0].ShardTimeline(2, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "1 shards") || !strings.Contains(lines[0], "100 paths") {
+		t.Fatalf("bucket 0: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "1 shards") || !strings.Contains(lines[1], "300 paths") ||
+		!strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Fatalf("bucket 1: %s", lines[1])
+	}
+}
+
+// TestShardTimelineRestored: the synthetic restored-work record of a
+// resumed run reports separately and never skews throughput buckets.
+func TestShardTimelineRestored(t *testing.T) {
+	journal := `{"schema":3,"event":"shard_done","trace":"bbbb","shard":-1,"shards_done":3,"shards_total":8,"shard_paths":900,"time":"2026-01-01T00:00:00Z"}
+{"schema":3,"event":"shard_done","trace":"bbbb","shard":3,"shards_done":4,"shards_total":8,"shard_paths":50,"time":"2026-01-01T00:00:01Z"}`
+	ts, err := CollectTraces(strings.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ts.Traces[0].ShardTimeline(4, 20)
+	if !strings.Contains(out, "restored from checkpoint: 3/8 shards, 900 paths") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(out, "1 shards") || strings.Contains(out, "900 paths  #") {
+		t.Fatalf("restored credit leaked into buckets:\n%s", out)
+	}
+}
+
+// TestCollectTracesFilesMerges: one run journaled across two files
+// (crash + resume) reconstructs as a single trace.
+func TestCollectTracesFilesMerges(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(a, []byte(`{"schema":3,"event":"span","span":"shard_enumerate","trace":"cccc","span_start":"2026-01-01T00:00:00Z","dur_sec":1,"time":"2026-01-01T00:00:01Z"}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`{"schema":3,"event":"span","span":"job_run","trace":"cccc","span_start":"2026-01-01T00:00:02Z","dur_sec":1,"time":"2026-01-01T00:00:03Z"}
+{"schema":3,"event":"final","trace":"cccc","paths":7,"time":"2026-01-01T00:00:03Z"}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := CollectTracesFiles(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Traces) != 1 || ts.Records != 3 {
+		t.Fatalf("merged set = %+v", ts)
+	}
+	tr := ts.Traces[0]
+	if len(tr.Spans) != 2 || tr.Final == nil || tr.Final.Paths != 7 {
+		t.Fatalf("merged trace = %+v", tr)
+	}
+	if tr.End.Sub(tr.Start) != 3*time.Second {
+		t.Fatalf("merged extent = %v", tr.End.Sub(tr.Start))
+	}
+	if _, err := CollectTracesFiles(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

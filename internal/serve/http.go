@@ -4,16 +4,24 @@ package serve
 // server's mux (obs.StartServerMux), so one listener serves the job
 // API next to /metrics, /healthz, and /debug/pprof.
 //
-//	POST /jobs        submit a JobSpec; 202 + job doc (200 if served
-//	                  from cache or coalesced onto an in-flight run)
-//	GET  /jobs        list all jobs, submission order
-//	GET  /jobs/{id}   one job: state, progress, final certificate
+//	POST /jobs               submit a JobSpec; 202 + job doc (200 if
+//	                         served from cache or coalesced onto an
+//	                         in-flight run)
+//	GET  /jobs               list jobs, newest first, bounded by
+//	                         ?limit= (default 100)
+//	GET  /jobs/{id}          one job: state, progress, certificate
+//	GET  /jobs/{id}/events   live SSE stream of the job (stream.go)
+//
+// Trace propagation: POST /jobs accepts an X-Trace-Id header (minting
+// a trace ID when absent), and every job response — submit, get,
+// stream — echoes the job's trace in X-Trace-Id and in the doc body.
 
 import (
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // Mount registers the job API on mux.
@@ -21,7 +29,11 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 }
+
+// traceHeader is the request/response header carrying the trace ID.
+const traceHeader = "X-Trace-Id"
 
 // maxSpecBytes bounds a submitted spec body; real specs are tiny.
 const maxSpecBytes = 1 << 16
@@ -37,7 +49,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode spec: "+err.Error())
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.SubmitTrace(spec, r.Header.Get(traceHeader))
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -51,18 +63,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if doc.State == StateDone || doc.State == StateFailed {
 		status = http.StatusOK // cache hit: the certificate is already here
 	}
+	w.Header().Set(traceHeader, j.Trace())
 	writeDoc(w, status, doc)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// defaultListLimit bounds GET /jobs when no ?limit= is given: a
+// long-lived daemon accumulates unboundedly many job records, and a
+// listing is a dashboard page, not a dump.
+const defaultListLimit = 100
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := defaultListLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
 	jobs := s.Jobs()
-	docs := make([]JobDoc, 0, len(jobs))
-	for _, j := range jobs {
-		docs = append(docs, j.Snapshot())
+	total := len(jobs)
+	// Newest first: the jobs a dashboard cares about are the recent ones.
+	docs := make([]JobDoc, 0, min(limit, total))
+	for i := total - 1; i >= 0 && len(docs) < limit; i-- {
+		docs = append(docs, jobs[i].Snapshot())
 	}
 	writeDoc(w, http.StatusOK, struct {
-		Jobs []JobDoc `json:"jobs"`
-	}{docs})
+		Total int      `json:"total"`
+		Jobs  []JobDoc `json:"jobs"`
+	}{total, docs})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -71,6 +101,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	w.Header().Set(traceHeader, j.Trace())
 	writeDoc(w, http.StatusOK, j.Snapshot())
 }
 

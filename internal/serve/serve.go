@@ -33,7 +33,11 @@ import (
 	"pathrouting/internal/bilinear"
 	"pathrouting/internal/obs"
 	"pathrouting/internal/routing"
+	"pathrouting/internal/runlog"
 )
+
+// toolName stamps the service's journal records.
+const toolName = "routed"
 
 // Submission errors the HTTP layer maps to status codes.
 var (
@@ -68,11 +72,14 @@ const (
 // A Job is one submitted verification request and its lifecycle state.
 // All mutable state is behind the mutex; readers use Snapshot.
 type Job struct {
-	id   string
-	spec JobSpec
-	key  string
-	alg  *bilinear.Algorithm
-	dir  string
+	id    string
+	spec  JobSpec
+	key   string
+	alg   *bilinear.Algorithm
+	dir   string
+	trace string // end-to-end trace ID, immutable after creation
+
+	events broadcaster // live SSE fan-out (see stream.go)
 
 	mu        sync.Mutex
 	state     string
@@ -95,12 +102,17 @@ func (j *Job) Spec() JobSpec { return j.spec }
 // Key returns the job's content-addressed cache key.
 func (j *Job) Key() string { return j.key }
 
+// Trace returns the job's end-to-end trace ID (minted at submission,
+// or the one the client supplied).
+func (j *Job) Trace() string { return j.trace }
+
 // JobDoc is a job rendered for clients (HTTP responses, result.json).
 type JobDoc struct {
 	ID          string       `json:"id"`
 	State       string       `json:"state"`
 	Spec        JobSpec      `json:"spec"`
 	Key         string       `json:"key"`
+	Trace       string       `json:"trace,omitempty"`
 	Cached      bool         `json:"cached"`
 	Resumed     bool         `json:"resumed,omitempty"`
 	Coalesced   int64        `json:"coalesced,omitempty"`
@@ -123,7 +135,7 @@ func (j *Job) Snapshot() JobDoc {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	doc := JobDoc{
-		ID: j.id, State: j.state, Spec: j.spec, Key: j.key,
+		ID: j.id, State: j.state, Spec: j.spec, Key: j.key, Trace: j.trace,
 		Cached: j.cached, Resumed: j.resumed, Coalesced: j.coalesced,
 		Stats: j.stats, Certificate: j.cert, Error: j.errMsg,
 	}
@@ -175,11 +187,20 @@ type Options struct {
 	// if nil; reuse the daemon's so /metrics shows everything).
 	Registry *obs.Registry
 	// OnShard, when non-nil, observes every shard completion of every
-	// job (cmd/routed journals these; tests use it as a failpoint).
+	// job (tests use it as a failpoint for crash/resume drills).
 	OnShard func(job *Job, d routing.ShardDone)
 	// OnJobDone, when non-nil, observes every job reaching a terminal
 	// state (done or failed).
 	OnJobDone func(job *Job)
+	// Journal, when non-nil, receives the service's runlog records:
+	// per-job run_start, shard_done, heartbeat, and final events, plus
+	// the engine's spans, every one stamped with the job's trace and ID
+	// (schema 3) so cmd/routelog reconstructs per-job waterfalls.
+	Journal *runlog.Writer
+	// Heartbeat is the per-job heartbeat cadence — a journal record and
+	// an SSE event carrying the live metric snapshot — while the job
+	// runs (0 disables heartbeats).
+	Heartbeat time.Duration
 }
 
 // A Server owns the job queue, the runners, and the result cache.
@@ -210,6 +231,13 @@ type metrics struct {
 	coalesced                    *obs.Counter
 	queueDepth, running          *obs.Gauge
 	jobSeconds                   *obs.Histogram
+	// Labeled families: the same service events, split by outcome so
+	// one dashboard query distinguishes hit/miss/coalesced submissions
+	// and done/resumed/failed/paused runs. The unlabeled counters above
+	// remain the stable scripting surface.
+	submissions *obs.CounterVec   // outcome: hit | miss | coalesced
+	finished    *obs.CounterVec   // outcome: done | resumed | failed | paused
+	jobDuration *obs.HistogramVec // outcome: done | resumed | failed
 }
 
 // New builds a Server over opts.DataDir and recovers every incomplete
@@ -269,7 +297,19 @@ func New(opts Options) (*Server, error) {
 				"jobs currently enumerating"),
 			jobSeconds: reg.Histogram("serve_job_seconds",
 				"wall time of one enumeration run (cache hits excluded)", obs.LatencyBuckets),
+			submissions: reg.CounterVec("serve_submissions_total",
+				"job submissions by outcome (hit = result cache, miss = enumeration run, coalesced = joined an in-flight run)",
+				"outcome"),
+			finished: reg.CounterVec("serve_jobs_finished_total",
+				"enumeration runs reaching a terminal or drained state, by outcome",
+				"outcome"),
+			jobDuration: reg.HistogramVec("serve_job_duration_seconds",
+				"wall time of one enumeration run, by outcome", obs.LatencyBuckets,
+				"outcome"),
 		},
+	}
+	if opts.Journal != nil {
+		s.ins.Tracer = obs.NewTracer(opts.Journal, runlog.Record{Tool: toolName})
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -291,17 +331,26 @@ func (s *Server) Start() {
 	}
 }
 
-// Shutdown drains the service: submissions start failing with
-// ErrDraining, running jobs stop claiming shards (their checkpoints
-// persist, so a restart resumes them), and Shutdown returns once the
-// runners have parked or ctx expires.
-func (s *Server) Shutdown(ctx context.Context) error {
+// BeginDrain flips the service into its draining state: submissions
+// start failing with ErrDraining, running jobs stop claiming shards,
+// open SSE streams end, and /healthz reports "draining". Idempotent.
+// Daemons call it before shutting their HTTP listener down, so
+// in-flight streams release the listener instead of pinning it until
+// the drain deadline.
+func (s *Server) BeginDrain() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.draining {
 		s.draining = true
 		close(s.stop)
 	}
-	s.mu.Unlock()
+}
+
+// Shutdown drains the service: BeginDrain, then wait for the running
+// jobs to park (their checkpoints persist, so a restart resumes them)
+// until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
@@ -347,14 +396,33 @@ func (s *Server) normalize(spec JobSpec) (JobSpec, *bilinear.Algorithm, error) {
 	return spec, alg, nil
 }
 
-// Submit enqueues a job for spec, or returns the identical in-flight
-// job (single-flight coalescing), or an immediately-done job served
-// from the result cache. The returned Job may therefore be in any
-// state; clients poll it by ID either way.
+// Submit enqueues a job for spec with a freshly minted trace ID. See
+// SubmitTrace.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitTrace(spec, "")
+}
+
+// SubmitTrace enqueues a job for spec, or returns the identical
+// in-flight job (single-flight coalescing), or an immediately-done job
+// served from the result cache. The returned Job may therefore be in
+// any state; clients poll or stream it by ID either way.
+//
+// trace is the end-to-end trace ID the job's every journal record and
+// response will carry: "" mints one, a client-supplied value is
+// validated (obs.ValidTraceID) and adopted. A coalesced submission
+// joins the in-flight job's existing trace — one enumeration, one
+// trace.
+func (s *Server) SubmitTrace(spec JobSpec, trace string) (*Job, error) {
 	spec, alg, err := s.normalize(spec)
 	if err != nil {
 		return nil, err
+	}
+	switch {
+	case trace == "":
+		trace = obs.NewTraceID()
+	case !obs.ValidTraceID(trace):
+		return nil, fmt.Errorf("invalid trace ID %q (want 1-%d chars of [0-9A-Za-z_-])",
+			trace, obs.MaxTraceIDLen)
 	}
 	key := routing.CacheKey(alg, spec.K, spec.Kernel, spec.AdjStride, spec.Orbits)
 
@@ -372,6 +440,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		j.coalesced++
 		j.mu.Unlock()
 		s.met.coalesced.Inc()
+		s.met.submissions.With("coalesced").Inc()
 		return j, nil
 	}
 	// Content-addressed cache: certificates computed by any earlier
@@ -379,7 +448,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// restarts) come back without enumerating anything.
 	if e := s.cache.get(key); e != nil {
 		s.met.cacheHits.Inc()
-		j := s.newJobLocked(spec, alg, key)
+		s.met.submissions.With("hit").Inc()
+		j := s.newJobLocked(spec, alg, key, trace)
 		j.state, j.cached = StateDone, true
 		stats := e.Stats
 		j.stats, j.cert = &stats, e.Certificate
@@ -390,8 +460,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return j, nil
 	}
 	s.met.cacheMisses.Inc()
+	s.met.submissions.With("miss").Inc()
 
-	j := s.newJobLocked(spec, alg, key)
+	j := s.newJobLocked(spec, alg, key, trace)
 	if err := s.persistSpec(j); err != nil {
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
@@ -407,15 +478,16 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.inflight[key] = j
 	s.met.queueDepth.SetInt(int64(len(s.queue)))
+	j.events.publish(eventQueued, j.Snapshot())
 	return j, nil
 }
 
 // newJobLocked allocates and registers a job; s.mu must be held.
-func (s *Server) newJobLocked(spec JobSpec, alg *bilinear.Algorithm, key string) *Job {
+func (s *Server) newJobLocked(spec JobSpec, alg *bilinear.Algorithm, key, trace string) *Job {
 	s.seq++
 	id := fmt.Sprintf("j%08d", s.seq)
 	j := &Job{
-		id: id, spec: spec, key: key, alg: alg,
+		id: id, spec: spec, key: key, alg: alg, trace: trace,
 		dir:     filepath.Join(s.opts.DataDir, "jobs", id),
 		state:   StateQueued,
 		workers: make(map[int]routing.Progress),
@@ -461,15 +533,82 @@ func (s *Server) runner() {
 	}
 }
 
-// runJob executes one job through the checkpointed verifier.
+// journalEmit appends a record to the service journal (nil-safe;
+// journal failures are reported, never fatal — observability must not
+// fail a verification).
+func (s *Server) journalEmit(rec runlog.Record) {
+	if err := s.opts.Journal.Emit(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
+	}
+}
+
+// startJobHeartbeat launches the per-job heartbeat loop: every
+// Options.Heartbeat it journals a heartbeat record (stamped with the
+// job's trace identity, carrying the live metric snapshot) and
+// publishes an SSE heartbeat event. The returned stop is idempotent
+// and emits one final heartbeat, so the journal records the end state.
+func (s *Server) startJobHeartbeat(j *Job, base runlog.Record) (stop func()) {
+	if s.opts.Heartbeat <= 0 {
+		return func() {}
+	}
+	emit := func() {
+		rec := base
+		rec.Event = runlog.EventHeartbeat
+		rec.Metrics = s.reg.Snapshot()
+		s.journalEmit(rec)
+		j.events.publish(eventHeartbeat, j.Snapshot())
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(s.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				emit()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			emit()
+		})
+	}
+}
+
+// runJob executes one job through the checkpointed verifier, with the
+// job's trace identity threaded through the context so every span the
+// engine emits — and every record runJob journals — carries it.
 func (s *Server) runJob(j *Job) {
 	j.mu.Lock()
 	j.state = StateRunning
+	resumed := j.resumed
 	j.mu.Unlock()
 	s.met.running.SetInt(s.running.Add(1))
 
+	ctx := obs.WithTraceContext(context.Background(),
+		obs.TraceContext{TraceID: j.trace, JobID: j.id})
+	base := runlog.Record{
+		Tool: toolName, Alg: j.spec.Alg, K: j.spec.K,
+		Workers: s.opts.JobWorkers, Trace: j.trace, Job: j.id,
+	}
+	startRec := base
+	startRec.Event = runlog.EventRunStart
+	startRec.Resumed = resumed
+	s.journalEmit(startRec)
+	j.events.publish(eventStarted, j.Snapshot())
+	stopHeartbeat := s.startJobHeartbeat(j, base)
+
 	start := time.Now()
-	st, err := routing.RunJob(routing.JobConfig{
+	st, err := routing.RunJob(ctx, routing.JobConfig{
 		Alg:            j.alg,
 		K:              j.spec.K,
 		Workers:        s.opts.JobWorkers,
@@ -482,6 +621,11 @@ func (s *Server) runJob(j *Job) {
 		Stop:           s.stop,
 		OnShard: func(d routing.ShardDone) {
 			j.onShard(d)
+			rec := base
+			rec.Event = runlog.EventShardDone
+			rec.Shard, rec.ShardsDone, rec.ShardsTotal, rec.ShardPaths = d.Shard, d.Done, d.Total, d.Paths
+			s.journalEmit(rec)
+			j.events.publish(eventShard, j.Snapshot())
 			if s.opts.OnShard != nil {
 				s.opts.OnShard(j, d)
 			}
@@ -490,15 +634,38 @@ func (s *Server) runJob(j *Job) {
 		Obs:      s.ins,
 	})
 	s.met.running.SetInt(s.running.Add(-1))
+	stopHeartbeat()
+	elapsed := time.Since(start)
+
+	finalRec := base
+	finalRec.Event = runlog.EventFinal
+	finalRec.Resumed = resumed
+	finalRec.ElapsedSec = elapsed.Seconds()
 
 	switch {
 	case err == nil:
-		s.met.jobSeconds.ObserveSince(start)
+		s.met.jobSeconds.Observe(elapsed.Seconds())
+		outcome := "done"
+		if resumed {
+			outcome = "resumed"
+		}
+		s.met.finished.With(outcome).Inc()
+		s.met.jobDuration.With(outcome).Observe(elapsed.Seconds())
 		doc := statsOf(st)
 		cert := certificate(st)
 		j.mu.Lock()
 		j.state, j.stats, j.cert = StateDone, &doc, cert
 		j.mu.Unlock()
+		finalRec.Paths = st.NumPaths
+		finalRec.TotalHits = st.TotalHits
+		finalRec.MaxVertexHits = st.MaxVertexHits
+		finalRec.MaxMetaHits = st.MaxMetaHits
+		finalRec.Bound = st.Bound
+		finalRec.AdjChecked = st.AdjacencyChecked
+		if elapsed.Seconds() > 0 {
+			finalRec.PathsPerSec = float64(st.NumPaths) / elapsed.Seconds()
+		}
+		s.journalEmit(finalRec)
 		// Fill the cache before releasing the single-flight slot, so a
 		// submission racing the handoff finds one of the two.
 		if err := s.cache.put(&cacheEntry{Key: j.key, Spec: j.spec, Stats: doc, Certificate: cert}); err != nil {
@@ -507,18 +674,27 @@ func (s *Server) runJob(j *Job) {
 		}
 		s.finishJob(j)
 		s.met.completed.Inc()
+		j.events.publish(eventFinal, j.Snapshot())
 	case errors.Is(err, routing.ErrPaused):
 		// Drained by Shutdown: back to queued. The checkpoint holds
 		// every completed shard; recovery re-enqueues it on restart.
+		s.met.finished.With("paused").Inc()
 		j.mu.Lock()
 		j.state = StateQueued
 		j.mu.Unlock()
+		finalRec.Paused = true
+		s.journalEmit(finalRec)
 	default:
+		s.met.finished.With("failed").Inc()
+		s.met.jobDuration.With("failed").Observe(elapsed.Seconds())
 		j.mu.Lock()
 		j.state, j.errMsg = StateFailed, err.Error()
 		j.mu.Unlock()
+		finalRec.Error = err.Error()
+		s.journalEmit(finalRec)
 		s.finishJob(j)
 		s.met.failed.Inc()
+		j.events.publish(eventFinal, j.Snapshot())
 	}
 }
 
@@ -541,11 +717,18 @@ func (s *Server) persistSpec(j *Job) error {
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	return writeJSON(filepath.Join(j.dir, "spec.json"), struct {
-		ID   string  `json:"id"`
-		Key  string  `json:"key"`
-		Spec JobSpec `json:"spec"`
-	}{j.id, j.key, j.spec})
+	return writeJSON(filepath.Join(j.dir, "spec.json"), specRecord{
+		ID: j.id, Key: j.key, Trace: j.trace, Spec: j.spec,
+	})
+}
+
+// specRecord is the on-disk spec.json schema. Trace is persisted so a
+// resumed job keeps its end-to-end trace across daemon restarts.
+type specRecord struct {
+	ID    string  `json:"id"`
+	Key   string  `json:"key"`
+	Trace string  `json:"trace,omitempty"`
+	Spec  JobSpec `json:"spec"`
 }
 
 // persistJob writes the job's terminal result.json (best-effort: an
@@ -577,11 +760,7 @@ func (s *Server) recover() error {
 	sort.Strings(names) // jNNNNNNNN sorts by submission order
 	for _, name := range names {
 		jdir := filepath.Join(dir, name)
-		var specRec struct {
-			ID   string  `json:"id"`
-			Key  string  `json:"key"`
-			Spec JobSpec `json:"spec"`
-		}
+		var specRec specRecord
 		if err := readJSON(filepath.Join(jdir, "spec.json"), &specRec); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: skipping job dir %s: %v\n", name, err)
 			continue
@@ -595,8 +774,14 @@ func (s *Server) recover() error {
 		if _, err := fmt.Sscanf(name, "j%d", &n); err == nil && n > s.seq {
 			s.seq = n
 		}
+		if specRec.Trace == "" {
+			// Pre-trace job directory: mint one so the resumed run is
+			// still traceable end to end.
+			specRec.Trace = obs.NewTraceID()
+		}
 		j := &Job{
 			id: name, spec: spec, key: specRec.Key, alg: alg, dir: jdir,
+			trace:   specRec.Trace,
 			workers: make(map[int]routing.Progress),
 		}
 		var doc JobDoc
@@ -624,7 +809,10 @@ func (s *Server) recover() error {
 	return nil
 }
 
-// Health is the /healthz snapshot provider for the daemon.
+// Health is the /healthz snapshot provider for the daemon. While the
+// server drains (BeginDrain/Shutdown) the status is "draining", so
+// load balancers and orchestrators distinguish "about to go away"
+// from healthy — and from down.
 func (s *Server) Health() any {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -634,8 +822,12 @@ func (s *Server) Health() any {
 		counts[j.state]++
 		j.mu.Unlock()
 	}
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
 	return map[string]any{
-		"status":        "ok",
+		"status":        status,
 		"draining":      s.draining,
 		"queue_depth":   len(s.queue),
 		"queue_cap":     s.opts.QueueDepth,

@@ -1,0 +1,211 @@
+package serve
+
+// Live job event streams: GET /jobs/{id}/events serves Server-Sent
+// Events so a client watches a verification run instead of polling.
+// Each job owns a broadcaster; every lifecycle transition publishes a
+// typed event carrying the job's full JobDoc snapshot, so any single
+// event is a complete, self-describing view of the job (the terminal
+// `final` event carries exactly the stats and certificate a poll of
+// GET /jobs/{id} would return).
+//
+// Subscribers get an initial snapshot event on attach — a job already
+// done (cache hit, or a stream opened after the fact) yields its
+// `final` immediately; a resumed job replays its restored progress
+// before following live — then live events as they happen. Slow
+// consumers never block the runners: each subscriber has its own
+// queue, and consecutive `shard`/`heartbeat` events coalesce (each is
+// a full snapshot, so only the newest matters), while state
+// transitions and the terminal event are always preserved.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SSE event types.
+const (
+	eventQueued    = "queued"
+	eventStarted   = "started"
+	eventShard     = "shard"
+	eventHeartbeat = "heartbeat"
+	eventFinal     = "final"
+)
+
+// An Event is one SSE frame: a typed JobDoc snapshot.
+type Event struct {
+	ID   int64
+	Type string
+	Doc  JobDoc
+}
+
+// coalescable reports whether consecutive events of this type may
+// collapse to the newest one in a subscriber queue.
+func coalescable(typ string) bool { return typ == eventShard || typ == eventHeartbeat }
+
+// A subscriber is one attached SSE stream: an unbounded-in-principle
+// but coalescing event queue plus a level-triggered notify channel.
+type subscriber struct {
+	mu     sync.Mutex
+	events []Event
+	notify chan struct{} // cap 1: "queue non-empty" signal
+}
+
+func newSubscriber() *subscriber {
+	return &subscriber{notify: make(chan struct{}, 1)}
+}
+
+// push appends an event, coalescing progress-type runs.
+func (sub *subscriber) push(e Event) {
+	sub.mu.Lock()
+	if n := len(sub.events); n > 0 && coalescable(e.Type) && sub.events[n-1].Type == e.Type {
+		sub.events[n-1] = e
+	} else {
+		sub.events = append(sub.events, e)
+	}
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain takes the queued events.
+func (sub *subscriber) drain() []Event {
+	sub.mu.Lock()
+	events := sub.events
+	sub.events = nil
+	sub.mu.Unlock()
+	return events
+}
+
+// A broadcaster fans a job's events out to its subscribers. The zero
+// value is ready to use (jobs embed one).
+type broadcaster struct {
+	mu   sync.Mutex
+	seq  int64
+	subs map[*subscriber]struct{}
+}
+
+// publish sends a typed snapshot to every subscriber. Callers must not
+// hold j.mu (the snapshot was already taken).
+func (b *broadcaster) publish(typ string, doc JobDoc) {
+	b.mu.Lock()
+	b.seq++
+	e := Event{ID: b.seq, Type: typ, Doc: doc}
+	for sub := range b.subs {
+		sub.push(e)
+	}
+	b.mu.Unlock()
+}
+
+func (b *broadcaster) add(sub *subscriber) {
+	b.mu.Lock()
+	if b.subs == nil {
+		b.subs = make(map[*subscriber]struct{})
+	}
+	b.subs[sub] = struct{}{}
+	b.mu.Unlock()
+}
+
+func (b *broadcaster) remove(sub *subscriber) {
+	b.mu.Lock()
+	delete(b.subs, sub)
+	b.mu.Unlock()
+}
+
+// Subscribe attaches a new event stream to the job: the subscriber is
+// registered first (no live event can slip past), then primed with a
+// snapshot event for the job's current state, so terminal jobs yield
+// their final immediately and queued/running jobs replay where they
+// are before following.
+func (j *Job) Subscribe() *subscriber {
+	sub := newSubscriber()
+	j.events.add(sub)
+	doc := j.Snapshot()
+	typ := eventQueued
+	switch doc.State {
+	case StateRunning:
+		typ = eventStarted
+		if doc.Progress != nil && doc.Progress.ShardsDone > 0 {
+			typ = eventShard
+		}
+	case StateDone, StateFailed:
+		typ = eventFinal
+	}
+	sub.push(Event{Type: typ, Doc: doc})
+	return sub
+}
+
+// Unsubscribe detaches sub.
+func (j *Job) Unsubscribe(sub *subscriber) { j.events.remove(sub) }
+
+// sseKeepalive is the comment-frame cadence that keeps idle streams
+// alive through proxies and surfaces dead client connections.
+const sseKeepalive = 15 * time.Second
+
+// handleEvents is GET /jobs/{id}/events: the SSE stream. The stream
+// ends after the terminal event, when the client disconnects, or when
+// the server starts draining (a `: draining` comment is the goodbye;
+// ending the stream promptly is what lets http.Server.Shutdown finish
+// instead of hanging on open streams until the drain deadline).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Trace-Id", j.Trace())
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := j.Subscribe()
+	defer j.Unsubscribe(sub)
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		for _, e := range sub.drain() {
+			if err := writeSSE(w, e); err != nil {
+				return // client went away mid-write
+			}
+			fl.Flush()
+			if e.Type == eventFinal {
+				return
+			}
+		}
+		select {
+		case <-sub.notify:
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			fmt.Fprintf(w, ": draining\n\n")
+			fl.Flush()
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprintf(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event as an SSE frame. The data payload is the
+// compact one-line JSON of the JobDoc (SSE frames are line-delimited).
+func writeSSE(w http.ResponseWriter, e Event) error {
+	body, err := json.Marshal(e.Doc)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, body)
+	return err
+}
