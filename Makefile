@@ -5,7 +5,7 @@ RESUME_DIR ?= .verify-resume
 OBS_DIR ?= .obs-smoke
 ROUTED_DIR ?= .routed-smoke
 
-.PHONY: verify build test vet vet386 race bench-routing bench bench-smoke verify-resume obs-smoke routed-smoke
+.PHONY: verify build test vet vet386 race bench-routing bench bench-diff bench-smoke verify-resume obs-smoke routed-smoke
 
 # Routing benchmarks: the adjacency-index and parallel-verification
 # suites plus the A9 enumeration-kernel ablation and the A10 orbit
@@ -32,11 +32,13 @@ vet386:
 	GOARCH=386 $(GO) vet ./...
 
 # The routing package owns all the goroutine fan-out (parallel
-# Routing Theorem verification, lazy CSR index construction), and the
-# serve package layers SSE fan-out and the job broadcaster on top; run
-# both under the race detector on every verify.
+# Routing Theorem verification, lazy CSR index construction), the
+# serve package layers SSE fan-out and the job broadcaster on top, and
+# the obs package's runtime sampler publishes into the registry the
+# debug server scrapes concurrently; run all three under the race
+# detector on every verify.
 race:
-	$(GO) test -race ./internal/routing/... ./internal/serve/...
+	$(GO) test -race ./internal/routing/... ./internal/serve/... ./internal/obs/...
 
 bench-routing:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem .
@@ -50,6 +52,18 @@ bench:
 	@set -e; trap 'rm -f bench_routing.out' EXIT; \
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . > bench_routing.out; \
 	$(GO) run ./cmd/benchjson -o BENCH_routing.json < bench_routing.out
+
+# Benchmark regression diff: rerun the routing suite and compare the
+# ns/op / B/op / allocs/op columns against the checked-in
+# BENCH_routing.json baseline via cmd/benchjson (exit 3 past
+# BENCH_TOLERANCE percent). A soft gate in CI (continue-on-error) —
+# shared runners are too noisy to make wall-clock regressions hard
+# failures, but the delta table in the log makes them visible.
+BENCH_TOLERANCE ?= 25
+bench-diff:
+	@set -e; trap 'rm -f bench_diff.out' EXIT; \
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . > bench_diff.out; \
+	$(GO) run ./cmd/benchjson -baseline BENCH_routing.json -tolerance $(BENCH_TOLERANCE) < bench_diff.out
 
 # CI smoke: one iteration of the parallel-verification benchmark, with
 # allocation counts — catches a bench-harness or kernel regression
@@ -128,7 +142,11 @@ obs-smoke:
 # certificate the polling loop sees, and the per-job journals of both
 # daemon generations, which routelog must merge into a single trace
 # (the trace ID is persisted with the spec, so the crash and resume
-# legs share one identity).
+# legs share one identity). The resumed job's final doc must also
+# carry a populated resources block with legs=2 — cost accounting
+# accumulated across both daemon generations, not reset by the crash —
+# and a manually triggered pprof capture must land in the ring and be
+# retrievable from /debug/captures.
 routed-smoke:
 	@set -e; pids=""; trap 'rm -rf $(ROUTED_DIR); [ -z "$$pids" ] || kill $$pids 2>/dev/null || true' EXIT; \
 	rm -rf $(ROUTED_DIR); mkdir -p $(ROUTED_DIR); \
@@ -199,6 +217,20 @@ routed-smoke:
 	sed -n '/^event: final/{n;s/.*"certificate":"\([^"]*\)".*/\1/p;}' $(ROUTED_DIR)/sse.out > $(ROUTED_DIR)/sse.cert; \
 	cmp $(ROUTED_DIR)/sse.cert $(ROUTED_DIR)/fresh.cert \
 		|| { echo "routed-smoke: SSE terminal certificate differs from polled certificate"; cat $(ROUTED_DIR)/sse.out; exit 1; }; \
+	grep -q '"legs": 2' $(ROUTED_DIR)/job4.json \
+		|| { echo "routed-smoke: resumed job doc lacks accumulated resources (legs 2)"; cat $(ROUTED_DIR)/job4.json; exit 1; }; \
+	grep -q '"wall_sec"' $(ROUTED_DIR)/job4.json && grep -q '"queue_wait_sec"' $(ROUTED_DIR)/job4.json \
+		|| { echo "routed-smoke: resumed job doc has no cost attribution"; cat $(ROUTED_DIR)/job4.json; exit 1; }; \
+	curl -sf -X POST "$$url3/debug/captures?reason=smoke" > $(ROUTED_DIR)/capture.json; \
+	grep -q '"reason": "smoke"' $(ROUTED_DIR)/capture.json \
+		|| { echo "routed-smoke: manual capture trigger failed"; cat $(ROUTED_DIR)/capture.json; exit 1; }; \
+	hf=$$(sed -n 's/^  "heap_file": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/capture.json); \
+	[ -n "$$hf" ] || { echo "routed-smoke: capture has no heap file"; cat $(ROUTED_DIR)/capture.json; exit 1; }; \
+	curl -sfo $(ROUTED_DIR)/capture.heap "$$url3/debug/captures/$$hf" \
+		|| { echo "routed-smoke: capture heap profile not retrievable"; exit 1; }; \
+	[ -s $(ROUTED_DIR)/capture.heap ] || { echo "routed-smoke: capture heap profile empty"; exit 1; }; \
+	curl -sf "$$url3/debug/captures" | grep -q '"total": 1' \
+		|| { echo "routed-smoke: capture ring does not list the capture"; exit 1; }; \
 	tr2=$$(sed -n 's/^  "trace": "\(.*\)",*$$/\1/p' $(ROUTED_DIR)/job4.json); \
 	[ -n "$$tr2" ] || { echo "routed-smoke: resumed job has no trace ID"; cat $(ROUTED_DIR)/job4.json; exit 1; }; \
 	$(GO) run ./cmd/routelog $(ROUTED_DIR)/d2.jsonl $(ROUTED_DIR)/d3.jsonl > $(ROUTED_DIR)/routelog.out; \
@@ -208,4 +240,4 @@ routed-smoke:
 		|| { echo "routed-smoke: merged trace has no final"; cat $(ROUTED_DIR)/routelog.out; exit 1; }; \
 	grep -q '^ waterfall:' $(ROUTED_DIR)/routelog.out \
 		|| { echo "routed-smoke: routelog produced no waterfall"; cat $(ROUTED_DIR)/routelog.out; exit 1; }; \
-	echo "routed-smoke: PASS — cache hit served without re-enumeration; crashed job resumed to a byte-identical certificate (polled and streamed); routelog merged both legs into one trace"
+	echo "routed-smoke: PASS — cache hit served without re-enumeration; crashed job resumed to a byte-identical certificate (polled and streamed) with two-leg cost accounting; capture ring live; routelog merged both legs into one trace"

@@ -8,9 +8,16 @@
 // budget of the routing enumeration kernel is tracked this way; see
 // `make bench`).
 //
+// With -baseline it additionally compares the fresh run against a
+// previously written JSON document and prints a per-benchmark delta
+// table for the regression-sensitive columns (ns/op, B/op, allocs/op).
+// A delta worse than -tolerance percent on any of them exits 3, so
+// `make bench-diff` can gate on it.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchtime 5x -benchmem . | benchjson -o BENCH.json
+//	go test -run xxx -bench . -benchtime 5x -benchmem . | benchjson -baseline BENCH.json -tolerance 10
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,12 +46,64 @@ type Doc struct {
 	Benchmarks []Benchmark       `json:"benchmarks"`
 }
 
-var out = flag.String("o", "", "output file (default: stdout)")
-
 func main() {
-	flag.Parse()
-	doc := Doc{Env: map[string]string{}}
-	sc := bufio.NewScanner(os.Stdin)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main. Exit codes: 0 ok, 1 input/IO
+// error, 2 usage, 3 regression past tolerance.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default: stdout, suppressed in -baseline mode)")
+	baseline := fs.String("baseline", "", "prior benchjson output to compare against")
+	tolerance := fs.Float64("tolerance", 10, "regression threshold for -baseline, in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchjson: -tolerance must be non-negative")
+		return 2
+	}
+
+	doc, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	}
+
+	if *baseline != "" {
+		return compare(doc, *baseline, *tolerance, stdout, stderr)
+	}
+
+	if *out == "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		stdout.Write(append(buf, '\n'))
+	}
+	return 0
+}
+
+// parse converts `go test -bench` text into a Doc.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -73,27 +134,96 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, bm)
 	}
 	if err := sc.Err(); err != nil {
-		fail(err)
+		return nil, err
 	}
 	if len(doc.Benchmarks) == 0 {
-		fail(fmt.Errorf("no benchmark lines on stdin — did the bench run fail?"))
+		return nil, fmt.Errorf("no benchmark lines on stdin — did the bench run fail?")
 	}
-	buf, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		fail(err)
-	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fail(err)
-	}
-	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return doc, nil
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "benchjson:", err)
-	os.Exit(1)
+// regressionMetrics are the columns a baseline compare gates on: for
+// all three, bigger is worse. Throughput metrics (paths/s) are shown
+// in the JSON but deliberately not gated — they invert the comparison
+// and are far noisier than the allocation columns.
+var regressionMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// compare diffs doc against the JSON document at path and prints one
+// line per benchmark/metric pair. Returns 3 if any regression-gated
+// metric got worse by more than tol percent, 0 otherwise.
+func compare(doc *Doc, path string, tol float64, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	var base Doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "benchjson: parse baseline %s: %v\n", path, err)
+		return 1
+	}
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, bm := range base.Benchmarks {
+		old[bm.Name] = bm
+	}
+
+	fmt.Fprintf(stdout, "benchjson: comparing against %s (tolerance %.1f%%)\n", path, tol)
+	fmt.Fprintf(stdout, "%-44s %-10s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "delta")
+	regressed := 0
+	matched := 0
+	for _, bm := range doc.Benchmarks {
+		prev, ok := old[bm.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s (not in baseline)\n", bm.Name)
+			continue
+		}
+		matched++
+		for _, metric := range regressionMetrics {
+			nv, haveNew := bm.Metrics[metric]
+			ov, haveOld := prev.Metrics[metric]
+			if !haveNew || !haveOld {
+				continue
+			}
+			var pct float64
+			switch {
+			case ov != 0:
+				pct = (nv - ov) / ov * 100
+			case nv != 0:
+				pct = 100 // something from nothing: treat as full regression
+			}
+			mark := ""
+			if pct > tol {
+				mark = "  REGRESSED"
+				regressed++
+			}
+			fmt.Fprintf(stdout, "%-44s %-10s %14.1f %14.1f %+7.1f%%%s\n",
+				bm.Name, metric, ov, nv, pct, mark)
+		}
+	}
+	// Benchmarks that vanished from the run are worth a line: a renamed
+	// benchmark silently drops out of the gate otherwise.
+	var gone []string
+	seen := make(map[string]bool, len(doc.Benchmarks))
+	for _, bm := range doc.Benchmarks {
+		seen[bm.Name] = true
+	}
+	for name := range old {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(stdout, "%-44s (missing from this run)\n", name)
+	}
+	if matched == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark overlaps the baseline — wrong file?")
+		return 1
+	}
+	if regressed > 0 {
+		fmt.Fprintf(stdout, "benchjson: %d metric(s) regressed past %.1f%%\n", regressed, tol)
+		return 3
+	}
+	fmt.Fprintf(stdout, "benchjson: %d benchmark(s) within tolerance\n", matched)
+	return 0
 }

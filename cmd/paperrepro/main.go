@@ -69,6 +69,8 @@ var (
 	heartbeat  = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (verifier workers carry pprof labels)")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	sampleEach = flag.Duration("sample", 10*time.Second, "runtime self-telemetry sampling cadence, proc_* metrics (0 = off)")
+	captureDir = flag.String("capturedir", "", "anomaly pprof capture ring directory (enables /debug/captures; empty = off)")
 )
 
 // obsReg collects every instrument family of the process; it backs both
@@ -225,8 +227,26 @@ func main() {
 		}()
 	}
 	pebbleIn = pebble.NewInstruments(obsReg)
+	// Runtime self-telemetry (proc_* families) plus, with -capturedir,
+	// the anomaly-triggered pprof capture ring under /debug/captures.
+	var prof *obs.Profiler
+	if *captureDir != "" {
+		p, err := obs.NewProfiler(obs.ProfilerConfig{
+			Dir:                   *captureDir,
+			HeapGrowthBytesPerSec: 1 << 30,
+			GCPauseP99Seconds:     0.5,
+			Registry:              obsReg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		prof = p
+	}
+	sampler := obs.StartRuntimeSampler(obsReg, *sampleEach, prof.Consider)
+	defer sampler.Stop()
 	if *debugAddr != "" {
-		srv, err := obs.StartServer(*debugAddr, obsReg, healthDoc)
+		srv, err := obs.StartServerMux(*debugAddr, obsReg, healthDoc, prof.Mount)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)

@@ -8,7 +8,8 @@
 //	           [-workers 0] [-progress] [-adjstride 0]
 //	           [-checkpoint run.ckpt] [-resume] [-shardrows 0] [-maxshards 0]
 //	           [-journal run.jsonl] [-debugaddr :8080] [-debughold 0]
-//	           [-heartbeat 30s] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	           [-heartbeat 30s] [-sample 10s] [-capturedir DIR]
+//	           [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	routecheck -summarize run.jsonl
 //
 // With -checkpoint, the full routing persists completed shards to the
@@ -23,7 +24,11 @@
 // shard coverage), and /debug/pprof; the bound address is printed to
 // stderr. -debughold keeps the server up after the run so one-shot
 // runs can still be scraped. With -journal, -heartbeat emits a
-// heartbeat record carrying the metrics snapshot at that interval.
+// heartbeat record carrying the metrics snapshot — and, since schema
+// 4, a compact resource snapshot (heap, goroutines, GC pauses, CPU) —
+// at that interval. -sample sets the runtime self-telemetry cadence
+// (the proc_* metric families); -capturedir enables anomaly-triggered
+// pprof captures into a bounded ring served at /debug/captures.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // run (flushed on every exit path, including verification failure and
@@ -69,6 +74,8 @@ var (
 	heartbeat  = flag.Duration("heartbeat", 30*time.Second, "with -journal: interval between heartbeat records (0 = off)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (verifier workers carry pprof labels)")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	sampleEach = flag.Duration("sample", 10*time.Second, "runtime self-telemetry sampling cadence, proc_* metrics (0 = off)")
+	captureDir = flag.String("capturedir", "", "anomaly pprof capture ring directory (enables /debug/captures; empty = off)")
 )
 
 // profileStop flushes at most once: every exit path (normal return,
@@ -152,13 +159,14 @@ func (h *healthState) snapshot() any {
 		Last  int64 `json:"last_shard"`
 	}
 	doc := struct {
-		Status  string      `json:"status"`
-		Alg     string      `json:"alg"`
-		K       int         `json:"k"`
-		Which   string      `json:"which"`
-		Workers []workerDoc `json:"progress,omitempty"`
-		Shards  *shardDoc   `json:"checkpoint_shards,omitempty"`
-	}{Status: "ok", Alg: *algName, K: *k, Which: *which}
+		Status  string       `json:"status"`
+		Alg     string       `json:"alg"`
+		K       int          `json:"k"`
+		Which   string       `json:"which"`
+		Process obs.ProcInfo `json:"process"`
+		Workers []workerDoc  `json:"progress,omitempty"`
+		Shards  *shardDoc    `json:"checkpoint_shards,omitempty"`
+	}{Status: "ok", Alg: *algName, K: *k, Which: *which, Process: obs.ProcessInfo()}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	ids := make([]int, 0, len(h.workers))
@@ -267,8 +275,25 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// Runtime self-telemetry plus (with -capturedir) the anomaly
+	// profiler: the sampler's snapshots feed the capture thresholds,
+	// and a tripped threshold lands a pprof capture in the ring.
+	var prof *obs.Profiler
+	if *captureDir != "" {
+		prof, err = obs.NewProfiler(obs.ProfilerConfig{
+			Dir:                   *captureDir,
+			HeapGrowthBytesPerSec: 1 << 30,
+			GCPauseP99Seconds:     0.5,
+			Registry:              reg,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	sampler := obs.StartRuntimeSampler(reg, *sampleEach, prof.Consider)
+	defer sampler.Stop()
 	if *debugAddr != "" {
-		debugSrv, err = obs.StartServer(*debugAddr, reg, health.snapshot)
+		debugSrv, err = obs.StartServerMux(*debugAddr, reg, health.snapshot, prof.Mount)
 		if err != nil {
 			fail(err)
 		}

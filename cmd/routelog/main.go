@@ -9,13 +9,18 @@
 // Usage:
 //
 //	routelog [-trace ID] [-width 60] [-spans 40] [-buckets 8] journal.jsonl [more.jsonl...]
+//	routelog -resources [-trace ID] journal.jsonl [more.jsonl...]
 //	routelog -follow [-followfor 30s] [-poll 500ms] journal.jsonl
 //
 // With several journal files (say a crash leg and a resume leg), the
 // records merge by trace, so one job journaled across restarts still
-// reconstructs as a single run. -follow tails the journal and prints
-// one line per new record as it lands — a poor man's live dashboard
-// over nothing but the file.
+// reconstructs as a single run. -resources renders the per-trace cost
+// table instead of the waterfall: what each job actually consumed —
+// queue wait, CPU seconds, allocated bytes, paths/s, enumeration
+// shard-time — reconstructed from the schema-4 Resources records and
+// accumulated across daemon generations. -follow tails the journal
+// and prints one line per new record as it lands — a poor man's live
+// dashboard over nothing but the file.
 package main
 
 import (
@@ -44,6 +49,7 @@ func run(args []string, out, errOut io.Writer) int {
 		width     = fs.Int("width", 60, "timeline bar width in columns")
 		spans     = fs.Int("spans", 40, "max waterfall rows per trace (0 = all)")
 		buckets   = fs.Int("buckets", 8, "shard-timeline bucket count")
+		resources = fs.Bool("resources", false, "render the per-trace cost table (schema-4 Resources records)")
 		follow    = fs.Bool("follow", false, "tail the journal, printing new records as they land")
 		followFor = fs.Duration("followfor", 0, "with -follow: stop after this long (0 = forever)")
 		poll      = fs.Duration("poll", 500*time.Millisecond, "with -follow: file poll interval")
@@ -68,11 +74,144 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		return 0
 	}
+	if *resources {
+		if err := resourceReport(paths, *trace, out); err != nil {
+			fmt.Fprintln(errOut, "routelog:", err)
+			return 1
+		}
+		return 0
+	}
 	if err := analyze(paths, *trace, *width, *spans, *buckets, out); err != nil {
 		fmt.Fprintln(errOut, "routelog:", err)
 		return 1
 	}
 	return 0
+}
+
+// resourceReport renders the per-trace cost table: for each trace,
+// the accumulated Resources block its last final record carried
+// (internal/serve folds every crash/resume leg into it, so the last
+// final across merged journals is the cross-generation total), plus
+// derived rates — paths per wall second and per shard-enumeration
+// second — and the peak heap any schema-4 heartbeat observed.
+func resourceReport(paths []string, only string, out io.Writer) error {
+	ts, err := runlog.CollectTracesFiles(paths...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "journal: %d records (%d skipped), %d traces\n",
+		ts.Records, ts.Skipped, len(ts.Traces))
+	shown := 0
+	for _, t := range ts.Traces {
+		if only != "" && t.ID != only {
+			continue
+		}
+		shown++
+		fmt.Fprintf(out, "\n%s\n", traceIdent(t))
+		res := resourcesOf(t)
+		if res == nil {
+			fmt.Fprintf(out, "  no resource records (pre-schema-4 journal)\n")
+			continue
+		}
+		legs := res.Legs
+		if legs == 0 {
+			legs = t.Starts
+		}
+		fmt.Fprintf(out, "  legs %d  wall %.2fs  queue-wait %.2fs  cpu %.2fs  allocs %s\n",
+			legs, res.WallSeconds, res.QueueWaitSeconds, res.CPUSeconds, formatBytes(res.AllocBytes))
+		if t.Final != nil && t.Final.Paths > 0 {
+			line := fmt.Sprintf("  paths %d", t.Final.Paths)
+			if pps := pathsPerSec(t, res); pps > 0 {
+				line += fmt.Sprintf("  %.0f paths/s", pps)
+			}
+			if st := shardSeconds(t); st > 0 {
+				line += fmt.Sprintf("  shard-time %.2fs  %.0f paths per shard-sec",
+					st, float64(t.Final.Paths)/st)
+			}
+			fmt.Fprintln(out, line)
+		}
+		if t.PeakHeapBytes > 0 {
+			fmt.Fprintf(out, "  peak heap %s\n", formatBytes(t.PeakHeapBytes))
+		}
+	}
+	if only != "" && shown == 0 {
+		return fmt.Errorf("no records for trace %q", only)
+	}
+	return nil
+}
+
+// traceIdent is the identity half of a trace header (no span/shard
+// counts — the cost table has its own lines).
+func traceIdent(t *runlog.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s", t.ID)
+	if t.Traced {
+		ident := strings.TrimSpace(fmt.Sprintf("%s %s", t.Tool, t.Alg))
+		if ident != "" {
+			fmt.Fprintf(&b, "  %s", ident)
+		}
+		if t.K > 0 {
+			fmt.Fprintf(&b, " k=%d", t.K)
+		}
+		if t.Job != "" {
+			fmt.Fprintf(&b, " job=%s", t.Job)
+		}
+	}
+	switch {
+	case t.Final == nil:
+		b.WriteString("  (no final record)")
+	case t.Final.Error != "":
+		fmt.Fprintf(&b, "  FAILED: %s", t.Final.Error)
+	case t.Final.Paused:
+		b.WriteString("  (paused)")
+	}
+	return b.String()
+}
+
+// resourcesOf picks the trace's accumulated cost block: the last
+// final record's Resources (serve accumulates across legs, so the
+// last final is the total).
+func resourcesOf(t *runlog.Trace) *runlog.Resources {
+	if t.Final == nil || t.Final.Resources == nil {
+		return nil
+	}
+	return t.Final.Resources
+}
+
+// pathsPerSec prefers the accumulated cross-leg rate; older records
+// fall back to the final record's single-leg rate.
+func pathsPerSec(t *runlog.Trace, res *runlog.Resources) float64 {
+	if res.PathsPerSec > 0 {
+		return res.PathsPerSec
+	}
+	return t.Final.PathsPerSec
+}
+
+// shardSeconds sums the trace's shard_enumerate span durations — the
+// time actually spent enumerating paths, as opposed to merging,
+// persisting checkpoints, or waiting in the queue.
+func shardSeconds(t *runlog.Trace) float64 {
+	var sum float64
+	for _, sp := range t.Spans {
+		if sp.Name == "shard_enumerate" {
+			sum += sp.Dur.Seconds()
+		}
+	}
+	return sum
+}
+
+// formatBytes renders a byte count with a binary unit, one decimal.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // analyze renders the trace report for one or more journal files.

@@ -37,6 +37,84 @@ func TestAnalyzeGolden(t *testing.T) {
 	}
 }
 
+// TestResourcesGolden locks the -resources cost table for the same
+// crash+resume fixture: the traced job reports the accumulated
+// schema-4 Resources block of its last final record (both legs), the
+// per-shard-second rate from its shard_enumerate spans, and the peak
+// heap from its heartbeat; the pre-schema-4 untraced run reports that
+// it has no resource records.
+func TestResourcesGolden(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-resources", "testdata/journal.jsonl"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "resources.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Fatalf("cost table drifted from golden (run `go test ./cmd/routelog -run Golden -update` if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestResourcesMergesGenerations: the same job journaled across two
+// daemon generations (the fixture split at the restart boundary into
+// two files) reports one trace whose cost table carries the resumed
+// leg's accumulated totals — identical to the single-file report.
+func TestResourcesMergesGenerations(t *testing.T) {
+	body, err := os.ReadFile("testdata/journal.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(body), "\n")
+	cut := -1
+	for i, line := range lines {
+		if strings.Contains(line, `"resumed":true`) && strings.Contains(line, "run_start") {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatal("fixture lost its resumed run_start line")
+	}
+	dir := t.TempDir()
+	legA := filepath.Join(dir, "gen1.jsonl")
+	legB := filepath.Join(dir, "gen2.jsonl")
+	if err := os.WriteFile(legA, []byte(strings.Join(lines[:cut], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legB, []byte(strings.Join(lines[cut:], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var merged, single, errOut strings.Builder
+	id := "3f2a9c81d4e6b05731fa8c2d9b40e617"
+	if code := run([]string{"-resources", "-trace", id, legA, legB}, &merged, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-resources", "-trace", id, "testdata/journal.jsonl"}, &single, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	stripHeader := func(s string) string {
+		_, rest, _ := strings.Cut(s, "\n")
+		return rest
+	}
+	if stripHeader(merged.String()) != stripHeader(single.String()) {
+		t.Fatalf("merged generations diverge from single journal\n--- merged ---\n%s\n--- single ---\n%s",
+			merged.String(), single.String())
+	}
+	if !strings.Contains(merged.String(), "legs 2") {
+		t.Fatalf("merged report lost the cross-generation leg count:\n%s", merged.String())
+	}
+}
+
 // TestAnalyzeTraceFilter: -trace narrows the report to one trace and
 // errors on unknown IDs.
 func TestAnalyzeTraceFilter(t *testing.T) {

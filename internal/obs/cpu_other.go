@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds is unavailable off unix; accounting fields that
+// depend on it read as zero rather than failing the build.
+func processCPUSeconds() float64 { return 0 }

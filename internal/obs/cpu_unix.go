@@ -1,0 +1,16 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time. Getrusage is a single cheap syscall; Timeval.Nano keeps the
+// arithmetic 64-bit even on 386, where Timeval fields are 32-bit.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Nano()+ru.Stime.Nano()) / 1e9
+}

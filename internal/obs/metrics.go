@@ -314,7 +314,7 @@ func (g *Gauge) snapshot(into map[string]float64) { into[g.name] = g.Value() }
 // engine batches those through counters instead). Methods are nil-safe.
 type Histogram struct {
 	name, help string
-	labels     string // rendered label set for vec children; "" otherwise
+	labels     string    // rendered label set for vec children; "" otherwise
 	bounds     []float64 // upper bounds; +Inf bucket implicit
 	buckets    []atomic.Int64
 	count      atomic.Int64
@@ -333,6 +333,25 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveN records n observations of v in one shot — the bulk form
+// the runtime sampler uses to republish runtime/metrics histogram
+// bucket deltas (n new GC pauses near duration v) without n calls.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
 		if h.sumBits.CompareAndSwap(old, next) {
 			return
 		}

@@ -1,0 +1,394 @@
+package obs
+
+// Anomaly-triggered continuous profiling: a bounded on-disk ring of
+// pprof captures (heap snapshot + short CPU profile) fired when the
+// runtime sampler's snapshots trip configured thresholds — heap
+// growing too fast, GC pauses too long, the job queue too deep. The
+// point is to catch the profile *of the incident*: by the time a
+// human attaches a profiler to a wedged daemon, the interesting
+// allocation pattern is hours gone. The ring is bounded and captures
+// are rate-limited (cooldown + single-flight), so a sustained anomaly
+// costs a handful of files, not a disk.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig configures an anomaly-triggered profiler. Thresholds
+// left zero are disabled; a profiler with every threshold disabled
+// still serves manual captures (POST /debug/captures).
+type ProfilerConfig struct {
+	// Dir is the capture ring directory (required).
+	Dir string
+	// MaxCaptures bounds the ring (default 8): when full, the oldest
+	// capture's files are evicted.
+	MaxCaptures int
+	// CPUDuration is the length of the CPU profile attached to each
+	// capture (default 5s; 0 < d ≤ 60s).
+	CPUDuration time.Duration
+	// Cooldown is the minimum gap between triggered captures (default
+	// 1m), so a sustained anomaly yields a sequence of spaced captures
+	// instead of a churning ring.
+	Cooldown time.Duration
+
+	// HeapGrowthBytesPerSec triggers when the heap grows faster than
+	// this between consecutive Consider calls.
+	HeapGrowthBytesPerSec float64
+	// GCPauseP99Seconds triggers when the sampled GC pause p99 exceeds
+	// this.
+	GCPauseP99Seconds float64
+	// QueueDepth (with QueueLimit > 0) triggers when the callback
+	// reports a queue at or beyond QueueLimit — the serving-layer
+	// signal the runtime cannot see.
+	QueueDepth func() int
+	QueueLimit int
+
+	// Registry, when non-nil, receives the profiler's own metrics
+	// (obs_profile_captures_total by reason).
+	Registry *Registry
+}
+
+// A Capture is one profiling incident: its metadata record is
+// persisted as <id>.json beside the profile files, so the ring
+// survives restarts and /debug/captures can always explain why each
+// capture exists.
+type Capture struct {
+	ID       string  `json:"id"`
+	Time     string  `json:"time"` // RFC 3339, UTC
+	Reason   string  `json:"reason"`
+	Detail   string  `json:"detail,omitempty"`
+	HeapFile string  `json:"heap_file"`
+	CPUFile  string  `json:"cpu_file,omitempty"`
+	CPUSecs  float64 `json:"cpu_profile_sec,omitempty"`
+
+	// the snapshot that pulled the trigger, for triage without
+	// opening the profiles
+	HeapBytes  int64   `json:"heap_bytes,omitempty"`
+	Goroutines int64   `json:"goroutines,omitempty"`
+	GCPauseP99 float64 `json:"gc_pause_p99,omitempty"`
+	Queue      int     `json:"queue_depth,omitempty"`
+}
+
+// A Profiler owns the capture ring. Nil-safe: a nil profiler ignores
+// Consider/Trigger/Mount, so daemons wire it unconditionally.
+type Profiler struct {
+	cfg      ProfilerConfig
+	captures *CounterVec
+
+	mu       sync.Mutex
+	ring     []Capture
+	seq      int
+	lastTrig time.Time
+	busy     bool // a CPU profile is running; pprof allows one at a time
+	prev     ResourceSnapshot
+	havePrev bool
+
+	wg sync.WaitGroup
+}
+
+// NewProfiler builds a profiler over cfg.Dir, creating it if needed
+// and re-indexing any captures a previous process left there (the
+// ring is a disk structure; restarts keep it).
+func NewProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: ProfilerConfig.Dir is required")
+	}
+	if cfg.MaxCaptures <= 0 {
+		cfg.MaxCaptures = 8
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 5 * time.Second
+	}
+	if cfg.CPUDuration > time.Minute {
+		cfg.CPUDuration = time.Minute
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Minute
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	p := &Profiler{cfg: cfg}
+	if cfg.Registry != nil {
+		p.captures = cfg.Registry.CounterVec("obs_profile_captures_total",
+			"anomaly-triggered pprof captures, by trigger reason", "reason")
+	}
+	if err := p.reindex(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// reindex rebuilds the in-memory ring from the <id>.json records on
+// disk, oldest first, and resumes the ID sequence past them.
+func (p *Profiler) reindex() error {
+	entries, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var c Capture
+		body, err := os.ReadFile(filepath.Join(p.cfg.Dir, name))
+		if err != nil || json.Unmarshal(body, &c) != nil || c.ID == "" {
+			continue // foreign or torn record: leave it alone
+		}
+		p.ring = append(p.ring, c)
+		var n int
+		if _, err := fmt.Sscanf(c.ID, "cap-%d", &n); err == nil && n > p.seq {
+			p.seq = n
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].ID < p.ring[j].ID })
+	p.evictLocked()
+	return nil
+}
+
+// Consider feeds one sampler snapshot through the trigger thresholds;
+// wire it as the RuntimeSampler's onSample hook. Safe on nil.
+func (p *Profiler) Consider(snap ResourceSnapshot) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	var rate float64
+	if p.havePrev {
+		if dt := snap.Time.Sub(p.prev.Time).Seconds(); dt > 0 {
+			rate = float64(snap.HeapBytes-p.prev.HeapBytes) / dt
+		}
+	}
+	p.prev, p.havePrev = snap, true
+	p.mu.Unlock()
+
+	var reason, detail string
+	queue := 0
+	switch {
+	case p.cfg.HeapGrowthBytesPerSec > 0 && rate > p.cfg.HeapGrowthBytesPerSec:
+		reason = "heap-growth"
+		detail = fmt.Sprintf("heap growing %.0f B/s (threshold %.0f)", rate, p.cfg.HeapGrowthBytesPerSec)
+	case p.cfg.GCPauseP99Seconds > 0 && snap.GCPauseP99 > p.cfg.GCPauseP99Seconds:
+		reason = "gc-pause"
+		detail = fmt.Sprintf("GC pause p99 %.4fs (threshold %.4fs)", snap.GCPauseP99, p.cfg.GCPauseP99Seconds)
+	case p.cfg.QueueDepth != nil && p.cfg.QueueLimit > 0:
+		if queue = p.cfg.QueueDepth(); queue >= p.cfg.QueueLimit {
+			reason = "queue-depth"
+			detail = fmt.Sprintf("queue depth %d (threshold %d)", queue, p.cfg.QueueLimit)
+		}
+	}
+	if reason == "" {
+		return
+	}
+	c := captureMeta(snap)
+	c.Queue = queue
+	p.trigger(reason, detail, c)
+}
+
+func captureMeta(snap ResourceSnapshot) Capture {
+	return Capture{
+		HeapBytes:  snap.HeapBytes,
+		Goroutines: snap.Goroutines,
+		GCPauseP99: snap.GCPauseP99,
+	}
+}
+
+// Trigger fires a manual capture (the POST /debug/captures path, and
+// what smoke tests use to make capture presence deterministic). Safe
+// on nil. Returns the capture metadata, or an error if rate-limited
+// or busy.
+func (p *Profiler) Trigger(reason string) (Capture, error) {
+	if p == nil {
+		return Capture{}, fmt.Errorf("obs: profiler disabled")
+	}
+	if reason == "" {
+		reason = "manual"
+	}
+	return p.trigger(reason, "", captureMeta(ReadResources()))
+}
+
+// trigger runs the capture if the cooldown has elapsed and no capture
+// is in flight: heap profile synchronously (cheap, and the caller
+// wants the anomaly's heap, not the recovered one), CPU profile in a
+// background goroutine for cfg.CPUDuration.
+func (p *Profiler) trigger(reason, detail string, c Capture) (Capture, error) {
+	p.mu.Lock()
+	now := time.Now()
+	if p.busy {
+		p.mu.Unlock()
+		return Capture{}, fmt.Errorf("obs: capture already in flight")
+	}
+	if !p.lastTrig.IsZero() && now.Sub(p.lastTrig) < p.cfg.Cooldown {
+		p.mu.Unlock()
+		return Capture{}, fmt.Errorf("obs: capture cooldown (%s remaining)",
+			(p.cfg.Cooldown - now.Sub(p.lastTrig)).Round(time.Millisecond))
+	}
+	p.busy = true
+	p.lastTrig = now
+	p.seq++
+	c.ID = fmt.Sprintf("cap-%06d", p.seq)
+	p.mu.Unlock()
+
+	c.Time = now.UTC().Format(time.RFC3339Nano)
+	c.Reason = reason
+	c.Detail = detail
+	c.HeapFile = c.ID + ".heap.pb.gz"
+	c.CPUFile = c.ID + ".cpu.pb.gz"
+	c.CPUSecs = p.cfg.CPUDuration.Seconds()
+
+	if err := p.writeHeap(filepath.Join(p.cfg.Dir, c.HeapFile)); err != nil {
+		p.mu.Lock()
+		p.busy = false
+		p.mu.Unlock()
+		return Capture{}, err
+	}
+	p.captures.With(reason).Inc()
+
+	// Index the capture now (with the CPU profile still in flight) so
+	// /debug/captures reflects the incident immediately.
+	p.mu.Lock()
+	p.ring = append(p.ring, c)
+	p.evictLocked()
+	p.mu.Unlock()
+	p.persistMeta(c)
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		if err := p.writeCPU(filepath.Join(p.cfg.Dir, c.CPUFile), p.cfg.CPUDuration); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: cpu profile %s: %v\n", c.ID, err)
+		}
+		p.mu.Lock()
+		p.busy = false
+		p.mu.Unlock()
+	}()
+	return c, nil
+}
+
+func (p *Profiler) writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	// debug=0 writes the gzipped protobuf form `go tool pprof` reads.
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+func (p *Profiler) writeCPU(path string, d time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile (e.g. net/http/pprof) is running; keep
+		// the heap capture, drop the CPU leg.
+		os.Remove(path)
+		return err
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return nil
+}
+
+// persistMeta writes the capture's <id>.json record (best-effort: an
+// unwritable record only costs restart continuity).
+func (p *Profiler) persistMeta(c Capture) {
+	body, err := json.MarshalIndent(c, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(p.cfg.Dir, c.ID+".json"), append(body, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: capture meta %s: %v\n", c.ID, err)
+	}
+}
+
+// evictLocked trims the ring to MaxCaptures, deleting the evicted
+// captures' files. p.mu must be held.
+func (p *Profiler) evictLocked() {
+	for len(p.ring) > p.cfg.MaxCaptures {
+		old := p.ring[0]
+		p.ring = p.ring[1:]
+		for _, name := range []string{old.ID + ".json", old.HeapFile, old.CPUFile} {
+			if name != "" {
+				os.Remove(filepath.Join(p.cfg.Dir, name))
+			}
+		}
+	}
+}
+
+// Captures returns the ring's captures, oldest first. Safe on nil.
+func (p *Profiler) Captures() []Capture {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Capture(nil), p.ring...)
+}
+
+// Close waits for any in-flight CPU profile to finish. Safe on nil.
+func (p *Profiler) Close() {
+	if p == nil {
+		return
+	}
+	p.wg.Wait()
+}
+
+// Mount registers the capture endpoints on mux: GET /debug/captures
+// (JSON listing, newest last), POST /debug/captures (manual trigger,
+// optional ?reason=), GET /debug/captures/<file> (profile download).
+// Safe on nil (mounts nothing).
+func (p *Profiler) Mount(mux *http.ServeMux) {
+	if p == nil {
+		return
+	}
+	mux.HandleFunc("/debug/captures", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			list := p.Captures()
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(map[string]any{"total": len(list), "captures": list})
+		case http.MethodPost:
+			c, err := p.Trigger(r.URL.Query().Get("reason"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(c)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/debug/captures/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/debug/captures/")
+		// Serve only files the ring indexes: no traversal, no foreign
+		// files, evicted captures 404.
+		for _, c := range p.Captures() {
+			if name == c.HeapFile || (c.CPUFile != "" && name == c.CPUFile) || name == c.ID+".json" {
+				http.ServeFile(w, r, filepath.Join(p.cfg.Dir, name))
+				return
+			}
+		}
+		http.Error(w, "no such capture", http.StatusNotFound)
+	})
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testProfiler builds a profiler with an effectively-zero cooldown and
+// a very short CPU leg, so tests can fire captures back to back.
+func testProfiler(t *testing.T, dir string, maxCaptures int) *Profiler {
+	t.Helper()
+	p, err := NewProfiler(ProfilerConfig{
+		Dir:         dir,
+		MaxCaptures: maxCaptures,
+		CPUDuration: time.Millisecond,
+		Cooldown:    time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// triggerWait fires a capture, retrying while the previous capture's
+// CPU leg is still in flight (the single-flight guard).
+func triggerWait(t *testing.T, p *Profiler, reason string) Capture {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := p.Trigger(reason)
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("capture never cleared: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProfilerRingEviction: the ring holds MaxCaptures captures; older
+// ones are evicted and their files (meta + profiles) removed from disk.
+func TestProfilerRingEviction(t *testing.T) {
+	dir := t.TempDir()
+	p := testProfiler(t, dir, 2)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		ids = append(ids, triggerWait(t, p, "manual").ID)
+	}
+	p.Close() // drain CPU legs before inspecting the disk
+	ring := p.Captures()
+	if len(ring) != 2 || ring[0].ID != ids[2] || ring[1].ID != ids[3] {
+		t.Fatalf("ring = %+v, want the two newest of %v", ring, ids)
+	}
+	for i, id := range ids {
+		_, err := os.Stat(filepath.Join(dir, id+".heap.pb.gz"))
+		if evicted := i < 2; evicted != os.IsNotExist(err) {
+			t.Fatalf("capture %s (evicted=%v): heap file stat err = %v", id, evicted, err)
+		}
+		_, err = os.Stat(filepath.Join(dir, id+".json"))
+		if evicted := i < 2; evicted != os.IsNotExist(err) {
+			t.Fatalf("capture %s (evicted=%v): meta file stat err = %v", id, evicted, err)
+		}
+	}
+}
+
+// TestProfilerReindexAcrossRestart: a new profiler over the same dir
+// re-reads the ring and continues the ID sequence rather than
+// overwriting earlier captures.
+func TestProfilerReindexAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	p1 := testProfiler(t, dir, 8)
+	first := triggerWait(t, p1, "manual")
+	second := triggerWait(t, p1, "manual")
+	p1.Close()
+
+	p2 := testProfiler(t, dir, 8)
+	ring := p2.Captures()
+	if len(ring) != 2 || ring[0].ID != first.ID || ring[1].ID != second.ID {
+		t.Fatalf("reindexed ring = %+v", ring)
+	}
+	third := triggerWait(t, p2, "manual")
+	if third.ID <= second.ID {
+		t.Fatalf("ID sequence did not resume: %s after %s", third.ID, second.ID)
+	}
+}
+
+// TestProfilerConsiderQueueDepth: the serving-layer trigger fires a
+// capture when the queue callback reports a depth at the limit, and
+// records the reason.
+func TestProfilerConsiderQueueDepth(t *testing.T) {
+	reg := NewRegistry()
+	depth := 0
+	p, err := NewProfiler(ProfilerConfig{
+		Dir:         t.TempDir(),
+		CPUDuration: time.Millisecond,
+		Cooldown:    time.Nanosecond,
+		QueueDepth:  func() int { return depth },
+		QueueLimit:  3,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Consider(ReadResources())
+	if got := p.Captures(); len(got) != 0 {
+		t.Fatalf("queue below limit triggered a capture: %+v", got)
+	}
+	depth = 5
+	p.Consider(ReadResources())
+	ring := p.Captures()
+	if len(ring) != 1 || ring[0].Reason != "queue-depth" || ring[0].Queue != 5 {
+		t.Fatalf("ring = %+v", ring)
+	}
+	var out strings.Builder
+	reg.WriteTo(&out)
+	if !strings.Contains(out.String(), `obs_profile_captures_total{reason="queue-depth"} 1`) {
+		t.Fatalf("capture counter missing:\n%s", out.String())
+	}
+}
+
+// TestProfilerCooldown: a second trigger inside the cooldown window is
+// rejected, so a sustained anomaly cannot churn the ring.
+func TestProfilerCooldown(t *testing.T) {
+	p, err := NewProfiler(ProfilerConfig{
+		Dir:         t.TempDir(),
+		CPUDuration: time.Millisecond,
+		Cooldown:    time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Trigger(""); err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // ensure the rejection below is cooldown, not single-flight
+	if _, err := p.Trigger(""); err == nil || !strings.Contains(err.Error(), "cooldown") {
+		t.Fatalf("second trigger inside cooldown: err = %v", err)
+	}
+}
+
+// TestProfilerMount: the HTTP surface — listing, manual trigger,
+// profile download, and the no-traversal guarantee.
+func TestProfilerMount(t *testing.T) {
+	dir := t.TempDir()
+	p := testProfiler(t, dir, 8)
+	mux := http.NewServeMux()
+	p.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/debug/captures?reason=smoke", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Capture
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || c.Reason != "smoke" || c.ID == "" {
+		t.Fatalf("POST: status %d, capture %+v", resp.StatusCode, c)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/captures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Total    int       `json:"total"`
+		Captures []Capture `json:"captures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if listing.Total != 1 || len(listing.Captures) != 1 || listing.Captures[0].ID != c.ID {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/captures/" + c.HeapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap download: status %d", resp.StatusCode)
+	}
+
+	// A file in the directory but not in the ring must 404 — the
+	// handler serves the index, not the filesystem.
+	os.WriteFile(filepath.Join(dir, "secret.txt"), []byte("x"), 0o644)
+	for _, path := range []string{"secret.txt", "../profile.go", "..%2Fprofile.go"} {
+		resp, err = http.Get(fmt.Sprintf("%s/debug/captures/%s", srv.URL, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestProfilerNilSafe: the nil profiler contract daemons rely on.
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	p.Consider(ResourceSnapshot{})
+	if _, err := p.Trigger("x"); err == nil {
+		t.Fatal("nil Trigger should error")
+	}
+	if p.Captures() != nil {
+		t.Fatal("nil Captures should be nil")
+	}
+	p.Mount(http.NewServeMux())
+	p.Close()
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReadResourcesSane: a one-shot snapshot of a live Go process has
+// the obviously-true properties — a heap, at least this goroutine,
+// nonzero cumulative allocation, positive uptime.
+func TestReadResourcesSane(t *testing.T) {
+	snap := ReadResources()
+	if snap.HeapBytes <= 0 {
+		t.Fatalf("HeapBytes = %d", snap.HeapBytes)
+	}
+	if snap.Goroutines < 1 {
+		t.Fatalf("Goroutines = %d", snap.Goroutines)
+	}
+	if snap.AllocBytes <= 0 {
+		t.Fatalf("AllocBytes = %d", snap.AllocBytes)
+	}
+	if snap.Uptime <= 0 {
+		t.Fatalf("Uptime = %f", snap.Uptime)
+	}
+	if snap.CPUSeconds < 0 {
+		t.Fatalf("CPUSeconds = %f", snap.CPUSeconds)
+	}
+	rl := snap.Runlog()
+	if rl.HeapBytes != snap.HeapBytes || rl.CPUSeconds != snap.CPUSeconds {
+		t.Fatalf("Runlog conversion dropped fields: %+v vs %+v", rl, snap)
+	}
+}
+
+// TestProcessInfo: the identity block has a PID, a parseable start
+// time, and the toolchain version.
+func TestProcessInfo(t *testing.T) {
+	info := ProcessInfo()
+	if info.PID <= 0 {
+		t.Fatalf("PID = %d", info.PID)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, info.StartTime); err != nil {
+		t.Fatalf("StartTime %q: %v", info.StartTime, err)
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q", info.GoVersion)
+	}
+	if info.UptimeSeconds <= 0 {
+		t.Fatalf("UptimeSeconds = %f", info.UptimeSeconds)
+	}
+}
+
+// TestRuntimeSamplerPublishes: one Sample populates every proc_*
+// family in the exposition, and the hook sees the snapshot.
+func TestRuntimeSamplerPublishes(t *testing.T) {
+	reg := NewRegistry()
+	var hooked ResourceSnapshot
+	s := NewRuntimeSampler(reg, func(snap ResourceSnapshot) { hooked = snap })
+	snap := s.Sample()
+	if hooked.HeapBytes != snap.HeapBytes {
+		t.Fatalf("hook snapshot %+v != returned %+v", hooked, snap)
+	}
+	var out strings.Builder
+	if _, err := reg.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, family := range []string{
+		"proc_heap_bytes", "proc_goroutines", "proc_uptime_seconds",
+		"proc_cpu_seconds_total", "proc_heap_growth_bytes_per_second",
+		"proc_gc_pause_p99_seconds", "proc_sched_latency_p99_seconds",
+		"proc_gc_cycles_total", "proc_alloc_bytes_total",
+		"proc_gc_pause_seconds_bucket",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("exposition missing %s:\n%s", family, text)
+		}
+	}
+	if s.Last().HeapBytes != snap.HeapBytes {
+		t.Fatalf("Last() = %+v, want %+v", s.Last(), snap)
+	}
+}
+
+// TestRuntimeSamplerRace: a running sampler, concurrent on-demand
+// Sample calls, and concurrent registry scrapes must be clean under
+// the race detector — the sampler publishes into the same registry
+// the debug server scrapes.
+func TestRuntimeSamplerRace(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Millisecond, nil)
+	if s == nil {
+		t.Fatal("StartRuntimeSampler returned nil for a valid config")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				s.Sample()
+				s.HeapGrowthRate()
+				s.Last()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				var out strings.Builder
+				reg.WriteTo(&out)
+				reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+// TestSamplerNilSafe: the nil sampler contract daemons rely on for
+// unconditional wiring.
+func TestSamplerNilSafe(t *testing.T) {
+	var s *RuntimeSampler
+	s.Start(time.Second)
+	if snap := s.Sample(); snap.HeapBytes <= 0 {
+		t.Fatalf("nil Sample should fall back to ReadResources, got %+v", snap)
+	}
+	if s.HeapGrowthRate() != 0 || s.Last().HeapBytes != 0 {
+		t.Fatal("nil sampler leaked state")
+	}
+	s.Stop()
+	if got := StartRuntimeSampler(nil, time.Second, nil); got != nil {
+		t.Fatalf("nil registry should yield nil sampler, got %v", got)
+	}
+	if got := StartRuntimeSampler(NewRegistry(), 0, nil); got != nil {
+		t.Fatalf("zero interval should yield nil sampler, got %v", got)
+	}
+}
+
+// TestHistQuantile: nearest-rank quantiles on a synthetic
+// runtime-style histogram with ±Inf edges.
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		// buckets: (-Inf,1e-4], (1e-4,1e-3], (1e-3,1e-2], (1e-2,+Inf)
+		Counts:  []uint64{90, 8, 1, 1},
+		Buckets: []float64{math.Inf(-1), 1e-4, 1e-3, 1e-2, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.50); got != 1e-4 {
+		t.Fatalf("p50 = %g, want 1e-4", got)
+	}
+	if got := histQuantile(h, 0.99); got != 1e-2 {
+		t.Fatalf("p99 = %g, want 1e-2 (last finite edge of the +Inf bucket)", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %g", got)
+	}
+}

@@ -77,7 +77,18 @@ func StartServerMux(addr string, reg *Registry, health func() any, mount func(*h
 		mount(mux)
 	}
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	// ReadHeaderTimeout evicts scrapers that connect and stall before
+	// sending a request; IdleTimeout reclaims keep-alive connections a
+	// crashed scraper abandoned. Both matter at drain time: Shutdown
+	// waits for connections to go idle, so a stuck peer must not be
+	// able to pin it. No WriteTimeout — it would sever long-lived SSE
+	// streams (/jobs/{id}/events), which drain via the server's own
+	// stop signal instead.
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -131,10 +131,12 @@ func TracerFrom(ctx context.Context) *Tracer {
 }
 
 // StartHeartbeat launches a goroutine emitting a schema-2 `heartbeat`
-// record carrying reg's metric snapshot into w every interval, until
-// the returned stop function is called (stop emits one final
-// heartbeat, so the journal always records the end state). A nil
-// writer, nil registry, or non-positive interval yields a no-op stop.
+// record carrying reg's metric snapshot — and, since schema 4, a
+// compact process resource snapshot (heap, goroutines, GC, CPU) — into
+// w every interval, until the returned stop function is called (stop
+// emits one final heartbeat, so the journal always records the end
+// state). A nil writer, nil registry, or non-positive interval yields
+// a no-op stop.
 func StartHeartbeat(w *runlog.Writer, base runlog.Record, reg *Registry, interval time.Duration) (stop func()) {
 	if w == nil || reg == nil || interval <= 0 {
 		return func() {}
@@ -143,6 +145,7 @@ func StartHeartbeat(w *runlog.Writer, base runlog.Record, reg *Registry, interva
 		rec := base
 		rec.Event = runlog.EventHeartbeat
 		rec.Metrics = reg.Snapshot()
+		rec.Resources = ReadResources().Runlog()
 		_ = w.Emit(rec) // heartbeats are best-effort liveness
 	}
 	done := make(chan struct{})

@@ -108,7 +108,18 @@ func RunJob(ctx context.Context, cfg JobConfig) (Stats, error) {
 		kernel = KernelScratch
 	}
 	span.SetAttr("kernel", kernel)
-	defer span.End()
+	// Cost attribution: snapshot cumulative process CPU and allocation
+	// before the run so the span (and the serving layer, via the same
+	// deltas) can report what this leg of the job cost. Process-wide
+	// deltas are exact when jobs run one at a time (the service's
+	// Concurrency default) and an upper bound otherwise.
+	before := obs.ReadResources()
+	defer func() {
+		after := obs.ReadResources()
+		span.SetAttr("cpu_sec", strconv.FormatFloat(after.CPUSeconds-before.CPUSeconds, 'f', 3, 64))
+		span.SetAttr("alloc_bytes", strconv.FormatInt(after.AllocBytes-before.AllocBytes, 10))
+		span.End()
+	}()
 
 	g, err := cdag.New(cfg.Alg, cfg.K)
 	if err != nil {

@@ -23,11 +23,13 @@ import (
 // evolve the format without guessing. Schema 2 adds the span and
 // heartbeat event types (see internal/obs); schema 3 adds the
 // trace/job identity fields, so every record of a service job links
-// back to its end-to-end trace. Schema-1 and schema-2 records remain
-// valid, and readers skip event types they do not know, so journals
-// mixing schemas — or containing events from a future schema —
-// summarize without error.
-const SchemaVersion = 3
+// back to its end-to-end trace; schema 4 adds the compact Resources
+// block (process self-telemetry on heartbeats, accumulated per-job
+// cost on final records). Schema-1 through schema-3 records remain
+// valid, and readers skip event types and fields they do not know, so
+// journals mixing schemas — or containing events from a future
+// schema — summarize without error.
+const SchemaVersion = 4
 
 // Event names. A journal may contain any mix, across multiple runs.
 const (
@@ -81,6 +83,11 @@ type Record struct {
 	// heartbeat (schema 2)
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 
+	// Resources (schema 4) is the compact resource block: on heartbeat
+	// records a process self-telemetry snapshot, on final records the
+	// job's accumulated cost across every crash/resume leg.
+	Resources *Resources `json:"res,omitempty"`
+
 	// final
 	Paths         int64   `json:"paths,omitempty"`
 	TotalHits     int64   `json:"total_hits,omitempty"`
@@ -92,6 +99,30 @@ type Record struct {
 	PathsPerSec   float64 `json:"paths_per_sec,omitempty"`
 	Resumed       bool    `json:"resumed,omitempty"`
 	Paused        bool    `json:"paused,omitempty"`
+}
+
+// Resources is the schema-4 compact resource block. It is a union of
+// two uses, with omitempty keeping each record small: heartbeat
+// records carry the process fields (heap, goroutines, GC, cumulative
+// CPU and allocation), final records carry the per-job accounting
+// fields (wall, queue wait, CPU seconds, allocated bytes, paths/s,
+// legs) accumulated across every crash/resume leg of the job.
+type Resources struct {
+	// process self-telemetry (heartbeats)
+	HeapBytes  int64   `json:"heap_bytes,omitempty"`
+	Goroutines int64   `json:"goroutines,omitempty"`
+	GCCycles   int64   `json:"gc_cycles,omitempty"`
+	GCPauseP99 float64 `json:"gc_pause_p99,omitempty"` // seconds
+	Uptime     float64 `json:"uptime_sec,omitempty"`
+
+	// per-job accounting (final records); CPUSeconds and AllocBytes
+	// double as the process-cumulative values on heartbeats.
+	WallSeconds      float64 `json:"wall_sec,omitempty"`
+	QueueWaitSeconds float64 `json:"queue_wait_sec,omitempty"`
+	CPUSeconds       float64 `json:"cpu_sec,omitempty"`
+	AllocBytes       int64   `json:"alloc_bytes,omitempty"`
+	PathsPerSec      float64 `json:"paths_per_sec,omitempty"`
+	Legs             int     `json:"legs,omitempty"` // daemon generations that ran the job
 }
 
 // Writer appends records to a journal file. A nil *Writer is a valid

@@ -93,7 +93,7 @@ func TestSchemaAndTimestampStamped(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := string(data)
-	if !strings.Contains(line, `"schema":3`) || strings.Contains(line, "bogus") {
+	if !strings.Contains(line, `"schema":4`) || strings.Contains(line, "bogus") {
 		t.Fatalf("envelope not stamped: %s", line)
 	}
 	if !strings.Contains(line, "2023-11-14T22:13:20Z") {

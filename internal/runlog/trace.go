@@ -54,6 +54,12 @@ type Trace struct {
 	Heartbeats int
 	Violations []string
 	Final      *Record // last final record, nil if the run never finished
+	// Starts counts run_start records — for a service job, the number
+	// of daemon generations (legs) that worked on it.
+	Starts int
+	// PeakHeapBytes is the largest heap snapshot any schema-4 heartbeat
+	// of the trace carried (0 when no heartbeat carried resources).
+	PeakHeapBytes int64
 
 	Start, End time.Time // extent across every timed record
 }
@@ -133,6 +139,8 @@ func CollectTraces(r io.Reader) (*TraceSet, error) {
 			t.observe(at, at)
 		}
 		switch rec.Event {
+		case EventRunStart:
+			t.Starts++
 		case EventSpan:
 			dur := time.Duration(rec.DurSec * float64(time.Second))
 			start, ok := parseRecTime(rec.SpanStart)
@@ -154,6 +162,9 @@ func CollectTraces(r io.Reader) (*TraceSet, error) {
 			}
 		case EventHeartbeat:
 			t.Heartbeats++
+			if rec.Resources != nil && rec.Resources.HeapBytes > t.PeakHeapBytes {
+				t.PeakHeapBytes = rec.Resources.HeapBytes
+			}
 		case EventViolation:
 			t.Violations = append(t.Violations, rec.Error)
 		case EventFinal:
@@ -206,6 +217,10 @@ func (t *Trace) merge(o *Trace) {
 	sort.SliceStable(t.Spans, func(i, j int) bool { return t.Spans[i].Start.Before(t.Spans[j].Start) })
 	t.Shards = append(t.Shards, o.Shards...)
 	t.Heartbeats += o.Heartbeats
+	t.Starts += o.Starts
+	if o.PeakHeapBytes > t.PeakHeapBytes {
+		t.PeakHeapBytes = o.PeakHeapBytes
+	}
 	t.Violations = append(t.Violations, o.Violations...)
 	if o.Final != nil {
 		t.Final = o.Final

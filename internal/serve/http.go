@@ -22,6 +22,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"pathrouting/internal/obs"
 )
 
 // Mount registers the job API on mux.
@@ -89,10 +91,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for i := total - 1; i >= 0 && len(docs) < limit; i-- {
 		docs = append(docs, jobs[i].Snapshot())
 	}
+	// The envelope carries the process identity (uptime, build info) so
+	// a poller watching the listing across a crash/resume can tell
+	// which daemon generation answered.
 	writeDoc(w, http.StatusOK, struct {
-		Total int      `json:"total"`
-		Jobs  []JobDoc `json:"jobs"`
-	}{total, docs})
+		Total   int          `json:"total"`
+		Process obs.ProcInfo `json:"process"`
+		Jobs    []JobDoc     `json:"jobs"`
+	}{total, obs.ProcessInfo(), docs})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

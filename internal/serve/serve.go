@@ -91,6 +91,110 @@ type Job struct {
 	stats     *statsDoc
 	cert      string
 	errMsg    string
+
+	// Cost accounting. acc is the job's accumulated Resources block —
+	// across every crash/resume leg, not just the current process.
+	// queuedAt anchors the next leg's queue wait (set at submission,
+	// reset at requeue); the leg* fields are the current leg's
+	// baselines, captured at leg start so shard-time and terminal
+	// accounting can fold the leg's deltas onto legBase.
+	acc       ResourcesDoc
+	queuedAt  time.Time
+	legBase   ResourcesDoc
+	legStart  time.Time
+	legCPU0   float64
+	legAlloc0 int64
+}
+
+// ResourcesDoc is the per-job cost block clients see in the JobDoc:
+// what this job actually consumed, accumulated across every
+// crash/resume leg (a resumed job's totals grow, never reset). CPU
+// and allocation are process-wide deltas over the job's running legs —
+// exact at Concurrency 1 (the default), an upper bound when jobs
+// share the process.
+type ResourcesDoc struct {
+	QueuedAt   string `json:"queued_at,omitempty"`   // RFC 3339, UTC
+	StartedAt  string `json:"started_at,omitempty"`  // first leg start
+	FinishedAt string `json:"finished_at,omitempty"` // terminal state
+
+	WallSeconds      float64 `json:"wall_sec"`       // sum of running-leg wall time
+	QueueWaitSeconds float64 `json:"queue_wait_sec"` // sum of queued-state waits
+	CPUSeconds       float64 `json:"cpu_sec"`
+	AllocBytes       int64   `json:"alloc_bytes"`
+	PathsPerSec      float64 `json:"paths_per_sec,omitempty"` // total paths / total wall
+	Legs             int     `json:"legs"`                    // daemon generations that ran the job
+}
+
+// runlog renders the block as the schema-4 journal Resources record.
+func (r ResourcesDoc) runlog() *runlog.Resources {
+	return &runlog.Resources{
+		WallSeconds:      r.WallSeconds,
+		QueueWaitSeconds: r.QueueWaitSeconds,
+		CPUSeconds:       r.CPUSeconds,
+		AllocBytes:       r.AllocBytes,
+		PathsPerSec:      r.PathsPerSec,
+		Legs:             r.Legs,
+	}
+}
+
+// beginLeg opens a running leg: it charges the wait since queuedAt to
+// the queue-wait total, counts the leg, and captures the leg's wall /
+// CPU / allocation baselines.
+func (j *Job) beginLeg(snap obs.ResourceSnapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.queuedAt.IsZero() {
+		j.acc.QueueWaitSeconds += snap.Time.Sub(j.queuedAt).Seconds()
+		j.queuedAt = time.Time{}
+	}
+	j.acc.Legs++
+	if j.acc.StartedAt == "" {
+		j.acc.StartedAt = snap.Time.UTC().Format(time.RFC3339Nano)
+	}
+	j.legBase = j.acc
+	j.legStart = snap.Time
+	j.legCPU0 = snap.CPUSeconds
+	j.legAlloc0 = snap.AllocBytes
+}
+
+// accountLeg folds the current leg's cost so far onto the leg-start
+// base and returns the updated totals. Called on every shard boundary
+// (so a crash loses at most one shard of accounting, mirroring the
+// checkpoint guarantee) and at leg end.
+func (j *Job) accountLeg(snap obs.ResourceSnapshot) ResourcesDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cur := j.legBase
+	cur.WallSeconds += snap.Time.Sub(j.legStart).Seconds()
+	cur.CPUSeconds += snap.CPUSeconds - j.legCPU0
+	cur.AllocBytes += snap.AllocBytes - j.legAlloc0
+	j.acc = cur
+	return cur
+}
+
+// finishAccounting stamps the terminal fields (finish time, overall
+// paths/s across every leg's wall time) onto the accumulated block
+// and returns it.
+func (j *Job) finishAccounting(paths int64) ResourcesDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.acc.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	if paths > 0 && j.acc.WallSeconds > 0 {
+		j.acc.PathsPerSec = float64(paths) / j.acc.WallSeconds
+	}
+	return j.acc
+}
+
+// Resources returns the job's accumulated cost block, or nil if no
+// leg has run (cache hits enumerate nothing and cost nothing).
+func (j *Job) Resources() *ResourcesDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.acc.Legs == 0 {
+		return nil
+	}
+	r := j.acc
+	return &r
 }
 
 // ID returns the job's identifier.
@@ -108,18 +212,19 @@ func (j *Job) Trace() string { return j.trace }
 
 // JobDoc is a job rendered for clients (HTTP responses, result.json).
 type JobDoc struct {
-	ID          string       `json:"id"`
-	State       string       `json:"state"`
-	Spec        JobSpec      `json:"spec"`
-	Key         string       `json:"key"`
-	Trace       string       `json:"trace,omitempty"`
-	Cached      bool         `json:"cached"`
-	Resumed     bool         `json:"resumed,omitempty"`
-	Coalesced   int64        `json:"coalesced,omitempty"`
-	Progress    *ProgressDoc `json:"progress,omitempty"`
-	Stats       *statsDoc    `json:"stats,omitempty"`
-	Certificate string       `json:"certificate,omitempty"`
-	Error       string       `json:"error,omitempty"`
+	ID          string        `json:"id"`
+	State       string        `json:"state"`
+	Spec        JobSpec       `json:"spec"`
+	Key         string        `json:"key"`
+	Trace       string        `json:"trace,omitempty"`
+	Cached      bool          `json:"cached"`
+	Resumed     bool          `json:"resumed,omitempty"`
+	Coalesced   int64         `json:"coalesced,omitempty"`
+	Progress    *ProgressDoc  `json:"progress,omitempty"`
+	Resources   *ResourcesDoc `json:"resources,omitempty"`
+	Stats       *statsDoc     `json:"stats,omitempty"`
+	Certificate string        `json:"certificate,omitempty"`
+	Error       string        `json:"error,omitempty"`
 }
 
 // ProgressDoc is the live progress block of a running job.
@@ -138,6 +243,10 @@ func (j *Job) Snapshot() JobDoc {
 		ID: j.id, State: j.state, Spec: j.spec, Key: j.key, Trace: j.trace,
 		Cached: j.cached, Resumed: j.resumed, Coalesced: j.coalesced,
 		Stats: j.stats, Certificate: j.cert, Error: j.errMsg,
+	}
+	if j.acc.Legs > 0 {
+		res := j.acc
+		doc.Resources = &res
 	}
 	if j.state == StateRunning && (len(j.workers) > 0 || j.shards != nil) {
 		p := &ProgressDoc{}
@@ -238,6 +347,10 @@ type metrics struct {
 	submissions *obs.CounterVec   // outcome: hit | miss | coalesced
 	finished    *obs.CounterVec   // outcome: done | resumed | failed | paused
 	jobDuration *obs.HistogramVec // outcome: done | resumed | failed
+	// Cost attribution (observed once per job at its terminal state,
+	// with the totals accumulated across every crash/resume leg).
+	queueWait  *obs.HistogramVec // outcome: done | resumed | failed
+	cpuSeconds *obs.HistogramVec // outcome: done | resumed | failed
 }
 
 // New builds a Server over opts.DataDir and recovers every incomplete
@@ -306,6 +419,12 @@ func New(opts Options) (*Server, error) {
 			jobDuration: reg.HistogramVec("serve_job_duration_seconds",
 				"wall time of one enumeration run, by outcome", obs.LatencyBuckets,
 				"outcome"),
+			queueWait: reg.HistogramVec("serve_job_queue_wait_seconds",
+				"total time a job spent queued before its legs ran, by outcome",
+				obs.LatencyBuckets, "outcome"),
+			cpuSeconds: reg.HistogramVec("serve_job_cpu_seconds",
+				"process CPU seconds attributed to a job across its legs, by outcome",
+				obs.LatencyBuckets, "outcome"),
 		},
 	}
 	if opts.Journal != nil {
@@ -486,12 +605,15 @@ func (s *Server) SubmitTrace(spec JobSpec, trace string) (*Job, error) {
 func (s *Server) newJobLocked(spec JobSpec, alg *bilinear.Algorithm, key, trace string) *Job {
 	s.seq++
 	id := fmt.Sprintf("j%08d", s.seq)
+	now := time.Now()
 	j := &Job{
 		id: id, spec: spec, key: key, alg: alg, trace: trace,
-		dir:     filepath.Join(s.opts.DataDir, "jobs", id),
-		state:   StateQueued,
-		workers: make(map[int]routing.Progress),
+		dir:      filepath.Join(s.opts.DataDir, "jobs", id),
+		state:    StateQueued,
+		workers:  make(map[int]routing.Progress),
+		queuedAt: now,
 	}
+	j.acc.QueuedAt = now.UTC().Format(time.RFC3339Nano)
 	s.jobs[id] = j
 	s.order = append(s.order, j)
 	return j
@@ -504,6 +626,10 @@ func (s *Server) Get(id string) (*Job, bool) {
 	j, ok := s.jobs[id]
 	return j, ok
 }
+
+// QueueLen returns the number of jobs waiting in the FIFO queue (the
+// anomaly profiler's queue-depth trigger reads it).
+func (s *Server) QueueLen() int { return len(s.queue) }
 
 // Jobs returns every known job in submission order.
 func (s *Server) Jobs() []*Job {
@@ -607,6 +733,7 @@ func (s *Server) runJob(j *Job) {
 	j.events.publish(eventStarted, j.Snapshot())
 	stopHeartbeat := s.startJobHeartbeat(j, base)
 
+	j.beginLeg(obs.ReadResources())
 	start := time.Now()
 	st, err := routing.RunJob(ctx, routing.JobConfig{
 		Alg:            j.alg,
@@ -621,6 +748,14 @@ func (s *Server) runJob(j *Job) {
 		Stop:           s.stop,
 		OnShard: func(d routing.ShardDone) {
 			j.onShard(d)
+			// Fold the leg's cost so far into the accumulated block and
+			// persist it before the external failpoint can fire: a crash
+			// loses at most one shard of accounting, mirroring the
+			// checkpoint's durability guarantee.
+			j.accountLeg(obs.ReadResources())
+			if err := s.persistSpec(j); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: persist %s: %v\n", j.id, err)
+			}
 			rec := base
 			rec.Event = runlog.EventShardDone
 			rec.Shard, rec.ShardsDone, rec.ShardsTotal, rec.ShardPaths = d.Shard, d.Done, d.Total, d.Paths
@@ -636,6 +771,7 @@ func (s *Server) runJob(j *Job) {
 	s.met.running.SetInt(s.running.Add(-1))
 	stopHeartbeat()
 	elapsed := time.Since(start)
+	cur := j.accountLeg(obs.ReadResources())
 
 	finalRec := base
 	finalRec.Event = runlog.EventFinal
@@ -651,6 +787,10 @@ func (s *Server) runJob(j *Job) {
 		}
 		s.met.finished.With(outcome).Inc()
 		s.met.jobDuration.With(outcome).Observe(elapsed.Seconds())
+		cur = j.finishAccounting(st.NumPaths)
+		s.met.queueWait.With(outcome).Observe(cur.QueueWaitSeconds)
+		s.met.cpuSeconds.With(outcome).Observe(cur.CPUSeconds)
+		finalRec.Resources = cur.runlog()
 		doc := statsOf(st)
 		cert := certificate(st)
 		j.mu.Lock()
@@ -678,15 +818,27 @@ func (s *Server) runJob(j *Job) {
 	case errors.Is(err, routing.ErrPaused):
 		// Drained by Shutdown: back to queued. The checkpoint holds
 		// every completed shard; recovery re-enqueues it on restart.
+		// The paused final record still carries the accumulated
+		// Resources so far, so journals merged across generations show
+		// the cost trajectory leg by leg.
 		s.met.finished.With("paused").Inc()
 		j.mu.Lock()
 		j.state = StateQueued
+		j.queuedAt = time.Now() // the next leg's wait starts now
 		j.mu.Unlock()
 		finalRec.Paused = true
+		finalRec.Resources = cur.runlog()
 		s.journalEmit(finalRec)
+		if err := s.persistSpec(j); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: persist %s: %v\n", j.id, err)
+		}
 	default:
 		s.met.finished.With("failed").Inc()
 		s.met.jobDuration.With("failed").Observe(elapsed.Seconds())
+		cur = j.finishAccounting(0)
+		s.met.queueWait.With("failed").Observe(cur.QueueWaitSeconds)
+		s.met.cpuSeconds.With("failed").Observe(cur.CPUSeconds)
+		finalRec.Resources = cur.runlog()
 		j.mu.Lock()
 		j.state, j.errMsg = StateFailed, err.Error()
 		j.mu.Unlock()
@@ -712,23 +864,29 @@ func (s *Server) finishJob(j *Job) {
 }
 
 // persistSpec writes the job's spec.json, the record recovery needs
-// to resume it.
+// to resume it. It carries the accumulated Resources block (rewritten
+// on every shard boundary), so a crash/resume leg starts from the
+// previous legs' totals instead of resetting them.
 func (s *Server) persistSpec(j *Job) error {
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	return writeJSON(filepath.Join(j.dir, "spec.json"), specRecord{
 		ID: j.id, Key: j.key, Trace: j.trace, Spec: j.spec,
+		Resources: j.Resources(),
 	})
 }
 
 // specRecord is the on-disk spec.json schema. Trace is persisted so a
-// resumed job keeps its end-to-end trace across daemon restarts.
+// resumed job keeps its end-to-end trace across daemon restarts;
+// Resources is the job's accumulated cost, so resume legs add to the
+// totals instead of starting from zero.
 type specRecord struct {
-	ID    string  `json:"id"`
-	Key   string  `json:"key"`
-	Trace string  `json:"trace,omitempty"`
-	Spec  JobSpec `json:"spec"`
+	ID        string        `json:"id"`
+	Key       string        `json:"key"`
+	Trace     string        `json:"trace,omitempty"`
+	Spec      JobSpec       `json:"spec"`
+	Resources *ResourcesDoc `json:"resources,omitempty"`
 }
 
 // persistJob writes the job's terminal result.json (best-effort: an
@@ -784,15 +942,26 @@ func (s *Server) recover() error {
 			trace:   specRec.Trace,
 			workers: make(map[int]routing.Progress),
 		}
+		if specRec.Resources != nil {
+			// The previous generations' accumulated cost: the next leg
+			// adds to these totals rather than resetting them.
+			j.acc = *specRec.Resources
+		}
 		var doc JobDoc
 		if err := readJSON(filepath.Join(jdir, "result.json"), &doc); err == nil {
 			// Terminal job: reload the record clients may still poll.
 			j.state, j.cached = doc.State, doc.Cached
 			j.stats, j.cert, j.errMsg = doc.Stats, doc.Certificate, doc.Error
 			j.coalesced = doc.Coalesced
+			if doc.Resources != nil {
+				j.acc = *doc.Resources // final totals beat spec.json's running copy
+			}
 		} else {
-			// Incomplete: resume it.
+			// Incomplete: resume it. The wait this generation's queue
+			// charges the job starts at recovery, not at the original
+			// submission — downtime is not queue wait.
 			j.state, j.resumed = StateQueued, true
+			j.queuedAt = time.Now()
 			select {
 			case s.queue <- j:
 				if s.inflight[j.key] == nil {
@@ -835,6 +1004,9 @@ func (s *Server) Health() any {
 		"job_workers":   s.opts.JobWorkers,
 		"jobs":          counts,
 		"cache_entries": s.cache.size(),
+		// Process identity (uptime, build info): scrapes and the
+		// crash/resume smoke use it to tell daemon generations apart.
+		"process": obs.ProcessInfo(),
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -325,6 +326,136 @@ func TestCrashResumeBitIdentical(t *testing.T) {
 }
 
 func withoutElapsed(d statsDoc) statsDoc { d.ElapsedSec = 0; return d }
+
+// TestJobResourcesAccounted: a completed job's doc carries a populated
+// Resources block — timeline stamps, wall/CPU/allocation costs, and a
+// throughput figure — and the per-job cost metrics record the outcome.
+func TestJobResourcesAccounted(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.Start()
+	j, err := s.Submit(JobSpec{Alg: "strassen", K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := waitTerminal(t, s, j.ID())
+	if doc.State != StateDone {
+		t.Fatalf("job: %+v", doc)
+	}
+	res := doc.Resources
+	if res == nil {
+		t.Fatal("done job has no Resources block")
+	}
+	if res.Legs != 1 {
+		t.Fatalf("Legs = %d, want 1", res.Legs)
+	}
+	if res.QueuedAt == "" || res.StartedAt == "" || res.FinishedAt == "" {
+		t.Fatalf("timeline incomplete: %+v", res)
+	}
+	if res.WallSeconds <= 0 || res.QueueWaitSeconds < 0 || res.AllocBytes <= 0 {
+		t.Fatalf("costs not accounted: %+v", res)
+	}
+	if res.PathsPerSec <= 0 {
+		t.Fatalf("PathsPerSec = %f", res.PathsPerSec)
+	}
+	snap := s.reg.Snapshot()
+	if snap[`serve_job_cpu_seconds_count{outcome="done"}`] != 1 ||
+		snap[`serve_job_queue_wait_seconds_count{outcome="done"}`] != 1 {
+		t.Fatalf("cost metrics not observed: %+v", snap)
+	}
+}
+
+// TestAccountingSurvivesRestart: the cost accounting of a job aborted
+// mid-run is persisted per shard (the same durability contract as the
+// checkpoint), and the resumed leg accumulates onto the crashed leg's
+// totals instead of resetting them.
+func TestAccountingSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	var (
+		s1      *Server
+		once    sync.Once
+		aborted = make(chan struct{})
+	)
+	opts := Options{DataDir: dir, JobWorkers: 2, OnShard: func(_ *Job, d routing.ShardDone) {
+		if !d.Restored && d.Done >= 2 {
+			once.Do(func() {
+				s1.mu.Lock()
+				if !s1.draining {
+					s1.draining = true
+					close(s1.stop)
+				}
+				s1.mu.Unlock()
+				close(aborted)
+			})
+		}
+	}}
+	s1 = newTestServer(t, opts)
+	s1.Start()
+	j1, err := s1.Submit(JobSpec{Alg: "strassen", K: 3, ShardRows: 16}) // 8 shards
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-aborted:
+	case <-time.After(30 * time.Second):
+		t.Fatal("failpoint never fired")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crashed leg's accounting must already be on disk: the shard
+	// boundary persisted spec.json before announcing the shard, so a
+	// kill -9 at any point loses at most one shard of cost.
+	var specRec struct {
+		Resources *ResourcesDoc `json:"resources"`
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "jobs", j1.ID(), "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &specRec); err != nil {
+		t.Fatal(err)
+	}
+	leg1 := specRec.Resources
+	if leg1 == nil || leg1.Legs != 1 {
+		t.Fatalf("crashed leg not persisted in spec.json: %+v", leg1)
+	}
+	if leg1.WallSeconds <= 0 || leg1.StartedAt == "" {
+		t.Fatalf("crashed leg costs empty: %+v", leg1)
+	}
+	if leg1.FinishedAt != "" {
+		t.Fatalf("aborted job claims a finish time: %+v", leg1)
+	}
+
+	// Restart: the resumed leg folds onto the persisted totals.
+	s2 := newTestServer(t, Options{DataDir: dir, JobWorkers: 3})
+	s2.Start()
+	doc := waitTerminal(t, s2, j1.ID())
+	if doc.State != StateDone {
+		t.Fatalf("resumed job: %+v", doc)
+	}
+	res := doc.Resources
+	if res == nil {
+		t.Fatal("resumed job has no Resources block")
+	}
+	if res.Legs != 2 {
+		t.Fatalf("Legs = %d, want 2 (crashed + resumed)", res.Legs)
+	}
+	if res.WallSeconds < leg1.WallSeconds {
+		t.Fatalf("wall time went backwards across restart: %f -> %f", leg1.WallSeconds, res.WallSeconds)
+	}
+	if res.AllocBytes < leg1.AllocBytes {
+		t.Fatalf("alloc bytes went backwards across restart: %d -> %d", leg1.AllocBytes, res.AllocBytes)
+	}
+	if res.QueuedAt != leg1.QueuedAt || res.StartedAt != leg1.StartedAt {
+		t.Fatalf("resumed leg rewrote the job's origin stamps: %+v vs %+v", res, leg1)
+	}
+	if res.FinishedAt == "" || res.PathsPerSec <= 0 {
+		t.Fatalf("resumed leg not finalized: %+v", res)
+	}
+}
 
 // TestHTTPEndpoints drives the mounted mux end to end with httptest.
 func TestHTTPEndpoints(t *testing.T) {

@@ -464,9 +464,9 @@ func TestLabeledServeMetrics(t *testing.T) {
 	}
 	snap := s.reg.Snapshot()
 	for series, want := range map[string]float64{
-		`serve_submissions_total{outcome="miss"}`:       1,
-		`serve_submissions_total{outcome="hit"}`:        1,
-		`serve_jobs_finished_total{outcome="done"}`:     1,
+		`serve_submissions_total{outcome="miss"}`:          1,
+		`serve_submissions_total{outcome="hit"}`:           1,
+		`serve_jobs_finished_total{outcome="done"}`:        1,
 		`serve_job_duration_seconds_count{outcome="done"}`: 1,
 	} {
 		if snap[series] != want {
