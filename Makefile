@@ -8,10 +8,11 @@ ROUTED_DIR ?= .routed-smoke
 .PHONY: verify build test vet vet386 race bench-routing bench bench-diff bench-smoke verify-resume obs-smoke routed-smoke
 
 # Routing benchmarks: the adjacency-index and parallel-verification
-# suites plus the A9 enumeration-kernel ablation and the A10 orbit
-# reduction; -benchmem adds the B/op and allocs/op columns the kernel
-# work is judged by.
-BENCH_PATTERN = BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification|BenchmarkA9EnumerationKernel|BenchmarkA10OrbitReduction
+# suites plus the A9 enumeration-kernel ablation, the A10 orbit
+# reduction, and the A11 stage-1/stage-2 orbit kernel comparison;
+# -benchmem adds the B/op and allocs/op columns the kernel work is
+# judged by.
+BENCH_PATTERN = BenchmarkVerifyFullRoutingAdjacency|BenchmarkA7ParallelVerification|BenchmarkA9EnumerationKernel|BenchmarkA10OrbitReduction|BenchmarkA11StageTwoKernel
 
 verify: vet test race vet386
 
@@ -55,15 +56,24 @@ bench:
 
 # Benchmark regression diff: rerun the routing suite and compare the
 # ns/op / B/op / allocs/op columns against the checked-in
-# BENCH_routing.json baseline via cmd/benchjson (exit 3 past
-# BENCH_TOLERANCE percent). A soft gate in CI (continue-on-error) —
-# shared runners are too noisy to make wall-clock regressions hard
-# failures, but the delta table in the log makes them visible.
+# BENCH_routing.json baseline via cmd/benchjson. allocs/op is the hard
+# leg (benchjson -hard, exit 4 fails the target and CI): allocation
+# counts are deterministic, so a regression there is a real kernel
+# change, never runner noise. The wall-clock columns stay soft —
+# shared runners are too noisy to gate on ns/op — so benchjson's soft
+# exit 3 is downgraded to a warning while the delta table in the log
+# keeps the regression visible.
+# benchjson is run as a built binary, not `go run`: go run collapses
+# every non-zero child exit to 1, which would erase the soft-vs-hard
+# distinction the gate depends on.
 BENCH_TOLERANCE ?= 25
 bench-diff:
-	@set -e; trap 'rm -f bench_diff.out' EXIT; \
+	@set -e; trap 'rm -f bench_diff.out bench_diff.benchjson' EXIT; \
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . > bench_diff.out; \
-	$(GO) run ./cmd/benchjson -baseline BENCH_routing.json -tolerance $(BENCH_TOLERANCE) < bench_diff.out
+	$(GO) build -o bench_diff.benchjson ./cmd/benchjson; \
+	st=0; ./bench_diff.benchjson -baseline BENCH_routing.json -tolerance $(BENCH_TOLERANCE) -hard allocs/op < bench_diff.out || st=$$?; \
+	if [ $$st -eq 3 ]; then echo "bench-diff: WARNING: soft (wall-clock) metric past $(BENCH_TOLERANCE)% — not failing the gate"; st=0; fi; \
+	exit $$st
 
 # CI smoke: one iteration of the parallel-verification benchmark, with
 # allocation counts — catches a bench-harness or kernel regression

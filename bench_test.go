@@ -600,6 +600,53 @@ func BenchmarkA10OrbitReduction(b *testing.B) {
 	}
 }
 
+// BenchmarkA11StageTwoKernel compares the two orbit kernels at
+// Strassen k=4 (ISSUE 10): stage 1 rebuilds both shared chains per
+// orbit through the division-heavy AppendChain and synthesizes chain 3
+// per member; stage 2 maintains the shared chains incrementally across
+// the fixed-digit odometer (digit-local updates, no divisions) and
+// accumulates chain-3 vertices over whole member blocks with the
+// hitVec addBlock/bumpStride helpers. Stats are bit-identical
+// (TestOrbitStatsBitIdentical is the gate); this measures the
+// throughput gap. Run via `make bench`; EXPERIMENTS.md A11 holds the
+// measured table.
+func BenchmarkA11StageTwoKernel(b *testing.B) {
+	g, err := cdag.New(bilinear.Strassen(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := routing.NewRouter(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.OrbitReduction = true
+	defer func() { r.OrbitReduction = false }()
+	for _, kernel := range []struct {
+		name   string
+		stage1 bool
+	}{
+		{"stage1", true},
+		{"stage2", false},
+	} {
+		for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run("kernel="+kernel.name+"/workers="+itoa(w), func(b *testing.B) {
+				r.OrbitStage1 = kernel.stage1
+				defer func() { r.OrbitStage1 = false }()
+				b.ReportAllocs()
+				var st routing.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = r.VerifyFullRoutingParallel(w)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(st.PathsPerSecond(), "paths/s")
+			})
+		}
+	}
+}
+
 // BenchmarkA9EnumerationKernel is the enumeration-kernel ablation: the
 // seed kernel (per-path slice/closure allocations, MetaRoot copy-edge
 // walks, map-based dedup — selected by Router.SeedEnumeration) against

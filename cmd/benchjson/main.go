@@ -8,16 +8,23 @@
 // budget of the routing enumeration kernel is tracked this way; see
 // `make bench`).
 //
+// The env block records the run header go test prints (goos, goarch,
+// pkg, cpu) plus the converting process's GOMAXPROCS and machine core
+// count, so a baseline records the parallelism it was measured at.
+//
 // With -baseline it additionally compares the fresh run against a
 // previously written JSON document and prints a per-benchmark delta
 // table for the regression-sensitive columns (ns/op, B/op, allocs/op).
-// A delta worse than -tolerance percent on any of them exits 3, so
-// `make bench-diff` can gate on it.
+// A delta worse than -tolerance percent on any of them exits 3 — or 4
+// when the regressed metric is named in -hard, a comma-separated list
+// of metrics whose regressions are hard failures. `make bench-diff`
+// runs with -hard allocs/op: allocation counts are deterministic, so
+// they gate CI hard, while the noisy wall-clock columns stay soft.
 //
 // Usage:
 //
 //	go test -run xxx -bench . -benchtime 5x -benchmem . | benchjson -o BENCH.json
-//	go test -run xxx -bench . -benchtime 5x -benchmem . | benchjson -baseline BENCH.json -tolerance 10
+//	go test -run xxx -bench . -benchtime 5x -benchmem . | benchjson -baseline BENCH.json -tolerance 10 -hard allocs/op
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,13 +59,15 @@ func main() {
 }
 
 // run is the testable body of main. Exit codes: 0 ok, 1 input/IO
-// error, 2 usage, 3 regression past tolerance.
+// error, 2 usage, 3 soft regression past tolerance, 4 hard regression
+// (a metric named in -hard).
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "output file (default: stdout, suppressed in -baseline mode)")
 	baseline := fs.String("baseline", "", "prior benchjson output to compare against")
 	tolerance := fs.Float64("tolerance", 10, "regression threshold for -baseline, in percent")
+	hard := fs.String("hard", "", "comma-separated metrics whose regressions exit 4 instead of 3 (e.g. allocs/op)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,12 +75,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson: -tolerance must be non-negative")
 		return 2
 	}
+	hardSet := map[string]bool{}
+	for _, m := range strings.Split(*hard, ",") {
+		if m = strings.TrimSpace(m); m == "" {
+			continue
+		}
+		known := false
+		for _, rm := range regressionMetrics {
+			known = known || m == rm
+		}
+		if !known {
+			fmt.Fprintf(stderr, "benchjson: -hard metric %q is not gated (want one of %s)\n",
+				m, strings.Join(regressionMetrics, ", "))
+			return 2
+		}
+		hardSet[m] = true
+	}
 
 	doc, err := parse(stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 1
 	}
+	doc.Env["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	doc.Env["cores"] = strconv.Itoa(runtime.NumCPU())
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
@@ -86,7 +114,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *baseline != "" {
-		return compare(doc, *baseline, *tolerance, stdout, stderr)
+		return compare(doc, *baseline, *tolerance, hardSet, stdout, stderr)
 	}
 
 	if *out == "" {
@@ -149,9 +177,10 @@ func parse(r io.Reader) (*Doc, error) {
 var regressionMetrics = []string{"ns/op", "B/op", "allocs/op"}
 
 // compare diffs doc against the JSON document at path and prints one
-// line per benchmark/metric pair. Returns 3 if any regression-gated
-// metric got worse by more than tol percent, 0 otherwise.
-func compare(doc *Doc, path string, tol float64, stdout, stderr io.Writer) int {
+// line per benchmark/metric pair. Returns 4 if a metric in hard got
+// worse by more than tol percent, 3 if only soft metrics did, 0
+// otherwise.
+func compare(doc *Doc, path string, tol float64, hard map[string]bool, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
@@ -169,7 +198,7 @@ func compare(doc *Doc, path string, tol float64, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "benchjson: comparing against %s (tolerance %.1f%%)\n", path, tol)
 	fmt.Fprintf(stdout, "%-44s %-10s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "delta")
-	regressed := 0
+	softRegressed, hardRegressed := 0, 0
 	matched := 0
 	for _, bm := range doc.Benchmarks {
 		prev, ok := old[bm.Name]
@@ -193,8 +222,13 @@ func compare(doc *Doc, path string, tol float64, stdout, stderr io.Writer) int {
 			}
 			mark := ""
 			if pct > tol {
-				mark = "  REGRESSED"
-				regressed++
+				if hard[metric] {
+					mark = "  REGRESSED (hard)"
+					hardRegressed++
+				} else {
+					mark = "  REGRESSED"
+					softRegressed++
+				}
 			}
 			fmt.Fprintf(stdout, "%-44s %-10s %14.1f %14.1f %+7.1f%%%s\n",
 				bm.Name, metric, ov, nv, pct, mark)
@@ -220,8 +254,13 @@ func compare(doc *Doc, path string, tol float64, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson: no benchmark overlaps the baseline — wrong file?")
 		return 1
 	}
-	if regressed > 0 {
-		fmt.Fprintf(stdout, "benchjson: %d metric(s) regressed past %.1f%%\n", regressed, tol)
+	if hardRegressed > 0 {
+		fmt.Fprintf(stdout, "benchjson: %d hard-gated metric(s) regressed past %.1f%% (plus %d soft)\n",
+			hardRegressed, tol, softRegressed)
+		return 4
+	}
+	if softRegressed > 0 {
+		fmt.Fprintf(stdout, "benchjson: %d metric(s) regressed past %.1f%%\n", softRegressed, tol)
 		return 3
 	}
 	fmt.Fprintf(stdout, "benchjson: %d benchmark(s) within tolerance\n", matched)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -91,6 +93,73 @@ func TestCompareRegression(t *testing.T) {
 	out.Reset()
 	if code := run([]string{"-baseline", base, "-tolerance", "150"}, strings.NewReader(slower), &out, &errOut); code != 0 {
 		t.Fatalf("tolerant compare: exit %d\n%s", code, out.String())
+	}
+}
+
+// TestCompareHardGate: a regression on a metric named in -hard exits 4
+// (the CI-fatal code) while the same regression on a soft metric stays
+// at 3, and an unknown -hard metric is a usage error.
+func TestCompareHardGate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-o", base}, strings.NewReader(benchOut), &out, &errOut); code != 0 {
+		t.Fatalf("write run: exit %d", code)
+	}
+
+	// allocs/op doubles: hard-gated → 4, with the (hard) marker.
+	leaky := strings.ReplaceAll(benchOut, "      30 allocs/op", "      60 allocs/op")
+	out.Reset()
+	code := run([]string{"-baseline", base, "-tolerance", "10", "-hard", "allocs/op"},
+		strings.NewReader(leaky), &out, &errOut)
+	if code != 4 {
+		t.Fatalf("hard regression: exit %d, want 4\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED (hard)") {
+		t.Fatalf("hard marker missing:\n%s", out.String())
+	}
+
+	// ns/op doubles: not in -hard → still the soft exit 3.
+	slower := strings.ReplaceAll(benchOut, "  40000000 ns/op", "  80000000 ns/op")
+	out.Reset()
+	code = run([]string{"-baseline", base, "-tolerance", "10", "-hard", "allocs/op"},
+		strings.NewReader(slower), &out, &errOut)
+	if code != 3 {
+		t.Fatalf("soft regression under -hard: exit %d, want 3\n%s", code, out.String())
+	}
+
+	// Typoed -hard metric: usage error, not a silently ungated run.
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, "-hard", "alloc/op"},
+		strings.NewReader(benchOut), &out, &errOut); code != 2 {
+		t.Fatalf("unknown hard metric: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "not gated") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+// TestEnvRecordsParallelism: the converter stamps its GOMAXPROCS and
+// the machine core count into the env block so baselines carry the
+// parallelism they were measured at.
+func TestEnvRecordsParallelism(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-o", base}, strings.NewReader(benchOut), &out, &errOut); code != 0 {
+		t.Fatalf("write run: exit %d", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["gomaxprocs"] != strconv.Itoa(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("env gomaxprocs = %q", doc.Env["gomaxprocs"])
+	}
+	if doc.Env["cores"] != strconv.Itoa(runtime.NumCPU()) {
+		t.Fatalf("env cores = %q", doc.Env["cores"])
 	}
 }
 

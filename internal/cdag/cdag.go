@@ -247,6 +247,25 @@ func (g *Graph) LayerSize(kind Kind, rank int) int {
 	}
 }
 
+// LayerBase returns the ID of the first vertex of a layer, so that
+// ID(kind, rank, idx) == LayerBase(kind, rank) + V(idx) for every valid
+// idx. Rank-structured kernels use it to synthesize the IDs of a whole
+// block of same-rank vertices arithmetically, without paying ID's
+// per-vertex range checks inside their inner loops.
+func (g *Graph) LayerBase(kind Kind, rank int) V {
+	if rank < 0 || rank > g.R {
+		panic(fmt.Errorf("cdag: rank %d out of range [0,%d]", rank, g.R))
+	}
+	switch kind {
+	case EncA:
+		return V(g.offEncA[rank])
+	case EncB:
+		return V(g.offEncB[rank])
+	default:
+		return V(g.offDec[rank])
+	}
+}
+
 // ID returns the vertex ID for (kind, rank, index). Index is the mixed
 // radix label: for encoding ranks, T·a^(r-j) + I with T the base-b
 // product prefix (t₁ most significant) and I the base-a entry suffix;

@@ -61,6 +61,32 @@ func TestLocateIDRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLayerBase(t *testing.T) {
+	// LayerBase is the hoisted half of ID: adding a within-layer index
+	// must land on exactly ID(kind, rank, idx) for every layer.
+	g := mustGraph(t, bilinear.Winograd(), 3)
+	for _, kind := range []Kind{EncA, EncB, Dec} {
+		for rank := 0; rank <= g.R; rank++ {
+			base := g.LayerBase(kind, rank)
+			for _, idx := range []int64{0, 1, int64(g.LayerSize(kind, rank)) - 1} {
+				if got, want := base+V(idx), g.ID(kind, rank, idx); got != want {
+					t.Fatalf("LayerBase(%v,%d)+%d = %d, want ID = %d", kind, rank, idx, got, want)
+				}
+			}
+		}
+	}
+	for _, bad := range []int{-1, g.R + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LayerBase(EncA, %d) did not panic", bad)
+				}
+			}()
+			g.LayerBase(EncA, bad)
+		}()
+	}
+}
+
 func TestParentsChildrenInverse(t *testing.T) {
 	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd(), bilinear.DisconnectedFast()} {
 		r := 2

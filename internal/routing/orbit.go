@@ -92,8 +92,14 @@ func (r *Router) scanRowsOrbit(w, workers int, rowLo, rowHi int64, earliestErr *
 	var flushedPaths, flushedAdj int64
 	var orbits, flushedOrbits int64
 	emit := func(final bool) {
+		// The running peak is recomputed from the accumulator here, at
+		// snapshot cadence, instead of being tracked per bump on the hot
+		// path: hit counts only grow, so the scan's maximum at emit time
+		// is exact, and nothing outside Progress/metrics reads out.peak
+		// (the final Stats maximum comes from the merged vectors).
+		out.peak = out.hits.max()
 		r.Obs.flushScan(out.numPaths-flushedPaths, out.adjChecked-flushedAdj, out.peak)
-		r.Obs.flushOrbit(orbits - flushedOrbits)
+		r.Obs.flushOrbit(orbits-flushedOrbits, 0)
 		flushedPaths, flushedAdj, flushedOrbits = out.numPaths, out.adjChecked, orbits
 		nextEmit = out.numPaths + progressChunk
 		lastEmit = time.Now()
@@ -210,18 +216,14 @@ func (r *Router) scanRowsOrbit(w, workers int, rowLo, rowHi int64, earliestErr *
 			// touched here gets this orbit's serial, marking it counted
 			// for all n₀ᵏ member paths at once.
 			for _, v := range c1 {
-				if h := out.hits.add(v, n0K); h > out.peak {
-					out.peak = h
-				}
+				out.hits.add(v, n0K)
 				if root := metaRoots[v]; stamp[root] != serial {
 					stamp[root] = serial
 					out.metaHits[root] += n0K
 				}
 			}
 			for _, v := range c2[:chainLen-1] {
-				if h := out.hits.add(v, n0K); h > out.peak {
-					out.peak = h
-				}
+				out.hits.add(v, n0K)
 				if root := metaRoots[v]; stamp[root] != serial {
 					stamp[root] = serial
 					out.metaHits[root] += n0K
@@ -333,9 +335,7 @@ func (r *Router) scanRowsOrbit(w, workers int, rowLo, rowHi int64, earliestErr *
 				// dedups repeats without touching the stamp.
 				prevRoot := cdag.V(-1)
 				for _, v := range c3[1:] {
-					if h := out.hits.bump(v); h > out.peak {
-						out.peak = h
-					}
+					out.hits.bump(v)
 					root := metaRoots[v]
 					if root == prevRoot {
 						continue
@@ -345,10 +345,14 @@ func (r *Router) scanRowsOrbit(w, workers int, rowLo, rowHi int64, earliestErr *
 						out.metaHits[root]++
 					}
 				}
-				if observing && (out.numPaths >= nextEmit ||
-					(out.numPaths&progressClockMask == 0 && time.Since(lastEmit) >= progressTimeFloor)) {
-					emit(false)
-				}
+			}
+			// Snapshot cadence at orbit granularity: an orbit is n₀ᵏ
+			// paths, far below progressChunk, so hoisting the check (and
+			// the rate-limited clock read behind the time floor) out of
+			// the member loop changes the cadence by at most one orbit.
+			if observing && (out.numPaths >= nextEmit ||
+				(orbits&progressClockMask == 0 && time.Since(lastEmit) >= progressTimeFloor)) {
+				emit(false)
 			}
 		}
 	}

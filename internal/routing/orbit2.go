@@ -1,0 +1,403 @@
+package routing
+
+// Stage-2 orbit kernel: family aggregation of the shared chains plus
+// blocked accumulation of the varying chain. Stage 1 (orbit.go) already
+// collapses each n₀ᵏ-path orbit into one weighted credit of chains 1
+// and 2 plus a per-member walk of chain 3; this kernel removes the two
+// costs stage 1 left on the table.
+//
+// Family aggregation. Within one (side, input) row — a *family* of n₀ᵏ
+// orbits — chain 1 depends only on (input, fixed output digits) and
+// chain 2 only on (junction, fixed output digits), and the junction is
+// itself a function of the input and the fixed digits. Both chains are
+// therefore determined slot-wise by the very digits the fixed-digit
+// odometer steps through, so instead of rebuilding them per orbit with
+// AppendChain (6k divisions per chain), the kernel maintains their
+// matched product digits, packed prefixes, and endpoint suffixes
+// incrementally across the odometer — digit-local updates on carry,
+// exactly how stage 1 already maintains chain 3 per member — and
+// *synthesizes* each chain vertex as layerBase + prefix·aᵏ⁻ʲ + suffix.
+// No divisions survive on the per-orbit path.
+//
+// Blocked accumulation. The varying chain's product digits depend on
+// the free output digits; the last free digit only enters product
+// digit k. Fixing the leading k−1 free digits (a *block* of n₀
+// members) therefore freezes encoding ranks 1..k−1 and every decoding
+// prefix t₁..t_{k−j} with j ≥ 1, so per block:
+//
+//   - encoding ranks 1..k−1 are block-constant vertices, credited once
+//     with weight n₀;
+//   - the rank-j decoding vertices of the block's members form an
+//     arithmetic progression in vertex ID (consecutive members differ
+//     only in the last output digit, stride 1 or n₀ depending on which
+//     coordinate the side frees), accumulated by hitVec.addBlock /
+//     bumpStride — bounds-check-free strided adds;
+//   - only the rank-k encoding vertex and the product vertex remain
+//     per-member scalar work: one match-table lookup and two bumps.
+//
+// Meta-vertex hits follow the same split. Decoding vertices are their
+// own roots, so the progression's meta credit is the same strided add,
+// corrected by subtracting the members whose rank-j vertex was already
+// credited by this orbit's shared chains — those are exactly the
+// stamped candidates d1[j] (and d2[j] below rank k), each a single
+// membership test against the progression. The block-constant encoding
+// roots use the stamp test once per block; the rank-k encoding root
+// keeps stage 1's consecutive-root dedup against the rank-(k−1) root,
+// and a product's root is stamped iff it is one of the two shared-chain
+// products, a two-comparison test. The accumulated sums are therefore
+// bit-identical to stage 1 — same vertices, same weights, same
+// per-orbit stamped set — which TestOrbitStatsBitIdentical and
+// FuzzOrbitStatsEquivalence pin against full enumeration.
+//
+// Adjacency sampling is unchanged in distribution and in kind: the
+// same positions idx % stride == 0 of the sequential enumeration order
+// are selected (tracked additively per member, no per-member modulo),
+// and each sampled path is materialized through the same appendPairPath
+// kernel and checked edge by edge. The shared-chain length/endpoint
+// checks of stage 1 are not re-checked here: on synthesized chains they
+// are tautologies (the synthesis *is* the definition AppendChain
+// implements), and corruption of the matching is still caught by the
+// sampled edge checks, as the corrupt-matching tests verify for both
+// kernels.
+//
+// Stage 1 remains available behind Router.OrbitStage1 as the A11
+// ablation baseline; checkpoints written by either kernel (or by full
+// enumeration) resume under any other, because shard contributions are
+// bit-identical.
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"pathrouting/internal/bilinear"
+	"pathrouting/internal/cdag"
+)
+
+// scanRowsOrbit2 is scanRowsOrbit with family-aggregated shared chains
+// and blocked member accumulation: same row ranges, same accumulators,
+// same emit cadence, bit-identical statistics.
+func (r *Router) scanRowsOrbit2(w, workers int, rowLo, rowHi int64, earliestErr *atomic.Int64, out *workerState) {
+	g := r.G
+	k := r.k
+	aK := r.powA[k]
+	n0 := int64(r.n0)
+	n0K := r.powN[k]
+	chainLen := 2*k + 2
+	wantLen := 3*chainLen - 2
+	stride := r.adjStride()
+	out.hits = make(hitVec, g.NumVertices())
+	out.metaHits = make(hitVec, g.NumVertices())
+	out.errPos = math.MaxInt64
+	total := (rowHi - rowLo) * aK
+	observing := r.Progress != nil || r.Obs != nil
+	nextEmit := int64(progressChunk)
+	var lastEmit time.Time
+	var flushedPaths, flushedAdj int64
+	var orbits, flushedOrbits int64
+	var families, flushedFamilies int64
+	emit := func(final bool) {
+		// Peak recomputed from the accumulator at snapshot cadence (see
+		// the stage-1 emit for why this is exact).
+		out.peak = out.hits.max()
+		r.Obs.flushScan(out.numPaths-flushedPaths, out.adjChecked-flushedAdj, out.peak)
+		r.Obs.flushOrbit(orbits-flushedOrbits, families-flushedFamilies)
+		flushedPaths, flushedAdj = out.numPaths, out.adjChecked
+		flushedOrbits, flushedFamilies = orbits, families
+		nextEmit = out.numPaths + progressChunk
+		lastEmit = time.Now()
+		if r.Progress != nil {
+			r.Progress(Progress{Worker: w, Workers: workers, Done: out.numPaths,
+				Total: total, PeakVertexHits: out.peak, Final: final})
+		}
+	}
+	if observing {
+		lastEmit = time.Now()
+		defer emit(true)
+	}
+
+	metaRoots := g.MetaRoots()
+	ps := r.newPathScratch()
+	full := make([]cdag.V, 0, wantLen) // sampled paths, materialized whole
+
+	// All per-slot and per-rank synthesis state in one backing array.
+	// Per slot l: the input digit, the fixed-digit-independent parts of
+	// the mid/junction digits, the maintained mid/junction/output digits
+	// and match rows, and the three chains' matched product digits.
+	// Per rank j: packed product-digit prefixes, base-a endpoint
+	// suffixes, the shared chains' decoding vertices (the stamped
+	// candidates the blocked meta pass subtracts), and the layer bases.
+	state := make([]int64, 10*k+12*(k+1))
+	cut := func(n int) []int64 {
+		s := state[:n:n]
+		state = state[n:]
+		return s
+	}
+	inDig, mBase, jcBase := cut(k), cut(k), cut(k)
+	mDig, jcDig, eRow, oDig := cut(k), cut(k), cut(k), cut(k)
+	t1Dig, t2Dig, t3Dig := cut(k), cut(k), cut(k)
+	t1Pre, t2Pre, t3Pre := cut(k+1), cut(k+1), cut(k+1)
+	inSuf, midSuf, jcSuf, outSuf := cut(k+1), cut(k+1), cut(k+1), cut(k+1)
+	d1, d2 := cut(k+1), cut(k+1)
+	enc1Base, enc3Base, decBase := cut(k+1), cut(k+1), cut(k+1)
+
+	// stamp/serial: the stage-1 epoch-stamped "already counted for every
+	// member of this orbit" membership test, unchanged.
+	stamp := make([]int64, g.NumVertices())
+	var serial int64
+	credit := func(v cdag.V) {
+		out.hits[v] += n0K
+		if root := metaRoots[v]; stamp[root] != serial {
+			stamp[root] = serial
+			out.metaHits[root] += n0K
+		}
+	}
+
+	for row := rowLo; row < rowHi; row++ {
+		// Cooperative cancellation at row granularity, as in scanRows.
+		if earliestErr.Load() < row*aK {
+			return
+		}
+		side, in := r.rowOf(row)
+		ps.setIn(r, in)
+		families++
+		// Orbit geometry as in stage 1: side A fixes the output column
+		// digits (unit scale in the packed digit) and frees the row
+		// digits (·n₀); side B the mirror image. Chain 1 lives in the
+		// side's encoding graph, chains 2 and 3 in the other side's.
+		fixedD, freeD := ps.ojD, ps.oiD
+		fixedScale, freeScale := int64(1), n0
+		kind1, match1 := cdag.EncA, r.BM.matchA
+		kind3, match3 := cdag.EncB, r.BM.matchB
+		if side == bilinear.SideB {
+			fixedD, freeD = ps.oiD, ps.ojD
+			fixedScale, freeScale = n0, 1
+			kind1, match1 = cdag.EncB, r.BM.matchB
+			kind3, match3 = cdag.EncA, r.BM.matchA
+		}
+		for j := 0; j <= k; j++ {
+			enc1Base[j] = int64(g.LayerBase(kind1, j))
+			enc3Base[j] = int64(g.LayerBase(kind3, j))
+			decBase[j] = int64(g.LayerBase(cdag.Dec, j))
+		}
+		prodBase := decBase[0]
+		encKBase := enc3Base[k]
+		// Row constants: the input digits and the parts of the mid and
+		// junction digits the fixed digit does not contribute — mid is
+		// c_{i,j′} / c_{i′,j}, junction b_{j,j′} / a_{i′,i}, so per slot
+		// mDig = mBase + fixed·scale and jcDig = jcBase + fixed·scale.
+		for l := 0; l < k; l++ {
+			fixedD[l] = 0
+			freeD[l] = 0
+			inDig[l] = ps.iD[l]*n0 + ps.jD[l]
+			if side == bilinear.SideA {
+				mBase[l] = ps.iD[l] * n0
+				jcBase[l] = ps.jD[l] * n0
+			} else {
+				mBase[l] = ps.jD[l]
+				jcBase[l] = ps.iD[l]
+			}
+		}
+		for j := 1; j <= k; j++ {
+			inSuf[j] = inDig[k-j]*r.powA[j-1] + inSuf[j-1]
+		}
+		fsMod := freeScale % stride
+
+		for orbit := int64(0); orbit < n0K; orbit++ {
+			// Fixed-digit odometer; slots l0..k-1 changed this step.
+			l0 := 0
+			if orbit != 0 {
+				l := k - 1
+				for ; l >= 0; l-- {
+					if fixedD[l]++; fixedD[l] < n0 {
+						break
+					}
+					fixedD[l] = 0
+				}
+				l0 = l
+			}
+			// Family aggregation: refresh only the changed slots' digit
+			// state and matched product digits of all three chains, then
+			// the downstream packed prefixes — amortized O(1) per orbit,
+			// no AppendChain, no divisions.
+			for l := l0; l < k; l++ {
+				fd := fixedD[l] * fixedScale
+				m := mBase[l] + fd
+				jc := jcBase[l] + fd
+				mDig[l] = m
+				jcDig[l] = jc
+				eRow[l] = jc * r.a
+				oDig[l] = fd
+				t1 := match1[int(inDig[l]*r.a+m)]
+				t2 := match3[int(jc*r.a+m)]
+				t3 := match3[int(jc*r.a+fd)]
+				if t1 < 0 || t2 < 0 || t3 < 0 {
+					panic("routing: orbit shared chains must be guaranteed")
+				}
+				t1Dig[l], t2Dig[l], t3Dig[l] = int64(t1), int64(t2), int64(t3)
+			}
+			for j := l0 + 1; j <= k; j++ {
+				t1Pre[j] = t1Pre[j-1]*r.b + t1Dig[j-1]
+				t2Pre[j] = t2Pre[j-1]*r.b + t2Dig[j-1]
+			}
+			// Endpoint suffixes (slot k-1 changes every orbit, so these
+			// are O(k) regardless), and the block-0 packed output.
+			var blockOut int64
+			for j := 1; j <= k; j++ {
+				midSuf[j] = mDig[k-j]*r.powA[j-1] + midSuf[j-1]
+				jcSuf[j] = jcDig[k-j]*r.powA[j-1] + jcSuf[j-1]
+				blockOut = blockOut*r.a + oDig[j-1]
+			}
+			serial++
+			orbits++
+			t1Full, t2Full := t1Pre[k], t2Pre[k]
+			// Weighted shared-chain credits, synthesized in chain order:
+			// chain 1 whole (enc 0..k, product, dec 1..k), chain 2 minus
+			// its final junction vertex (enc 0..k, product, dec 1..k-1).
+			for j := 0; j <= k; j++ {
+				credit(cdag.V(enc1Base[j] + t1Pre[j]*r.powA[k-j] + inSuf[k-j]))
+			}
+			credit(cdag.V(prodBase + t1Full))
+			for j := 1; j <= k; j++ {
+				d1[j] = decBase[j] + t1Pre[k-j]*r.powA[j] + midSuf[j]
+				credit(cdag.V(d1[j]))
+			}
+			for j := 0; j <= k; j++ {
+				credit(cdag.V(enc3Base[j] + t2Pre[j]*r.powA[k-j] + jcSuf[k-j]))
+			}
+			credit(cdag.V(prodBase + t2Full))
+			for j := 1; j < k; j++ {
+				d2[j] = decBase[j] + t2Pre[k-j]*r.powA[j] + midSuf[j]
+				credit(cdag.V(d2[j]))
+			}
+			for j := 1; j < k; j++ {
+				t3Pre[j] = t3Pre[j-1]*r.b + t3Dig[j-1]
+			}
+
+			// Blocked member scan: the outer odometer walks the leading
+			// k-1 free digits; each block is the n₀ members differing
+			// only in the last free digit.
+			span := n0 * freeScale
+			base3Row := eRow[k-1]
+			for {
+				// Block-constant encoding ranks 1..k-1, weight n₀ each;
+				// rPrev ends as the rank-(k-1) root for the per-member
+				// consecutive-root dedup (V(-1) when k = 1, the stage-1
+				// sentinel).
+				rPrev := cdag.V(-1)
+				for j := 1; j < k; j++ {
+					v := cdag.V(enc3Base[j] + t3Pre[j]*r.powA[k-j] + jcSuf[k-j])
+					out.hits.add(v, n0)
+					root := metaRoots[v]
+					if root != rPrev && stamp[root] != serial {
+						out.metaHits[root] += n0
+					}
+					rPrev = root
+				}
+				// Output suffixes of the block's first member.
+				for j := 1; j <= k; j++ {
+					outSuf[j] = oDig[k-j]*r.powA[j-1] + outSuf[j-1]
+				}
+				// Decoding ranks 1..k: one arithmetic progression per
+				// rank, accumulated blockwise on both vectors, with the
+				// orbit-stamped candidates subtracted from the meta pass
+				// by a progression-membership test.
+				for j := 1; j <= k; j++ {
+					start := decBase[j] + t3Pre[k-j]*r.powA[j] + outSuf[j]
+					sv := cdag.V(start)
+					if freeScale == 1 {
+						out.hits.addBlock(sv, r.n0, 1)
+						out.metaHits.addBlock(sv, r.n0, 1)
+					} else {
+						out.hits.bumpStride(sv, freeScale, r.n0)
+						out.metaHits.bumpStride(sv, freeScale, r.n0)
+					}
+					if d := d1[j] - start; d >= 0 && d < span && d%freeScale == 0 {
+						out.metaHits[d1[j]]--
+					}
+					if j < k && d2[j] != d1[j] {
+						if d := d2[j] - start; d >= 0 && d < span && d%freeScale == 0 {
+							out.metaHits[d2[j]]--
+						}
+					}
+				}
+				// Per-member scalar remainder: product digit k from the
+				// match row, one rank-k encoding bump, one product bump,
+				// and the additive sample-position tracker (idx % stride
+				// == 0 over idx = row·aᵏ + out, no per-member modulo).
+				base3 := base3Row + oDig[k-1]
+				tHi := t3Pre[k-1] * r.b
+				m := (row*aK + blockOut) % stride
+				for i := int64(0); i < n0; i++ {
+					t := tHi + int64(match3[int(base3+i*freeScale)])
+					out.hits[encKBase+t]++
+					out.hits[prodBase+t]++
+					rk := metaRoots[encKBase+t]
+					if rk != rPrev && stamp[rk] != serial {
+						out.metaHits[rk]++
+					}
+					if t != t1Full && t != t2Full {
+						out.metaHits[prodBase+t]++
+					}
+					if m == 0 {
+						// Same sample as the full scan: sync the last
+						// free digit, materialize through the composition
+						// kernel, check edge by edge.
+						out.adjChecked++
+						outIdx := blockOut + i*freeScale
+						freeD[k-1] = i
+						full = r.appendPairPath(ps, side, in, outIdx, full[:0])
+						freeD[k-1] = 0
+						if len(full) != wantLen {
+							out.fail(row*aK+outIdx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): length %d, want %d",
+								side, in, outIdx, len(full), wantLen), earliestErr)
+							return
+						}
+						for x := 0; x+1 < len(full); x++ {
+							if !r.adjacent(full[x], full[x+1]) {
+								out.fail(row*aK+outIdx, fmt.Errorf("routing: pair path (side %v, in %d, out %d): not connected at %s -- %s",
+									side, in, outIdx, g.Label(full[x]), g.Label(full[x+1])), earliestErr)
+								return
+							}
+						}
+					}
+					if m += fsMod; m >= stride {
+						m -= stride
+					}
+				}
+				out.numPaths += n0
+				out.totalHits += n0 * int64(wantLen)
+
+				// Advance the block odometer; a full wrap (l < 0) also
+				// restores freeD/oDig/t3Dig/blockOut to the orbit's base
+				// state, which the next orbit's refresh builds on.
+				l := k - 2
+				for ; l >= 0; l-- {
+					freeD[l]++
+					blockOut += freeScale * r.powA[k-1-l]
+					oDig[l] += freeScale
+					if freeD[l] < n0 {
+						t3Dig[l] = int64(match3[int(eRow[l]+oDig[l])])
+						break
+					}
+					freeD[l] = 0
+					blockOut -= n0 * freeScale * r.powA[k-1-l]
+					oDig[l] -= n0 * freeScale
+					t3Dig[l] = int64(match3[int(eRow[l]+oDig[l])])
+				}
+				if l < 0 {
+					break
+				}
+				for j := l + 1; j < k; j++ {
+					t3Pre[j] = t3Pre[j-1]*r.b + t3Dig[j-1]
+				}
+			}
+			// Snapshot cadence at orbit granularity (see stage 1).
+			if observing && (out.numPaths >= nextEmit ||
+				(orbits&progressClockMask == 0 && time.Since(lastEmit) >= progressTimeFloor)) {
+				emit(false)
+			}
+		}
+	}
+}

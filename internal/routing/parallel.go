@@ -288,7 +288,11 @@ func (r *Router) scanRange(w, workers int, rowLo, rowHi int64, earliestErr *atom
 	}
 	pprof.Do(context.Background(), pprof.Labels("worker", strconv.Itoa(w)), func(context.Context) {
 		if r.OrbitReduction && !r.SeedEnumeration {
-			r.scanRowsOrbit(w, workers, rowLo, rowHi, earliestErr, out)
+			if r.OrbitStage1 {
+				r.scanRowsOrbit(w, workers, rowLo, rowHi, earliestErr, out)
+			} else {
+				r.scanRowsOrbit2(w, workers, rowLo, rowHi, earliestErr, out)
+			}
 		} else {
 			r.scanRows(w, workers, rowLo, rowHi, earliestErr, out)
 		}

@@ -199,6 +199,17 @@ type Router struct {
 	// SeedEnumeration takes precedence when both are set, keeping the
 	// seed ablation a pure baseline.
 	OrbitReduction bool
+	// OrbitStage1 restores the stage-1 orbit kernel — shared chains
+	// rebuilt per orbit through the division-heavy AppendChain and the
+	// varying chain accumulated one vertex at a time — instead of the
+	// stage-2 kernel (family-aggregated incremental chain maintenance
+	// with blocked rank-by-rank hit accumulation; see orbit2.go). It
+	// exists so the A11 ablation and the equivalence tests can measure
+	// stage 2 against the stage-1 baseline. Ignored unless
+	// OrbitReduction is set; Stats are bit-identical either way, so —
+	// like the worker count — the flag is excluded from job cache
+	// identity (see CacheKey).
+	OrbitStage1 bool
 	// Progress, when non-nil, receives periodic Progress snapshots from
 	// VerifyFullRouting and VerifyFullRoutingParallel. It is called
 	// concurrently from all workers and must be safe for concurrent use.

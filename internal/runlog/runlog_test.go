@@ -176,6 +176,37 @@ func TestSummarizeMixedSchemas(t *testing.T) {
 	}
 }
 
+// TestSummarizeOrbitCounters: the summary lifts the orbit-reduction
+// counters from heartbeat snapshots (high-water mark across them) and
+// Format surfaces the orbits-per-family aggregation fan-in.
+func TestSummarizeOrbitCounters(t *testing.T) {
+	journal := `{"schema":4,"event":"heartbeat","metrics":{"routing_orbit_groups_total":1024,"routing_orbit_families_total":16}}
+{"schema":4,"event":"heartbeat","metrics":{"routing_orbit_groups_total":6272,"routing_orbit_families_total":98}}
+{"schema":4,"event":"heartbeat","metrics":{"routing_paths_verified_total":100}}`
+	s, err := Summarize(strings.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OrbitGroups != 6272 || s.OrbitFamilies != 98 {
+		t.Fatalf("orbit counters = %v/%v, want 6272/98", s.OrbitGroups, s.OrbitFamilies)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "6272 orbits collapsed into 98 shared-chain families (64.0 orbits/family)") {
+		t.Fatalf("format missing orbit line:\n%s", out)
+	}
+
+	// Stage-1 journals report groups but no families: no fan-in ratio.
+	s2, err := Summarize(strings.NewReader(
+		`{"schema":4,"event":"heartbeat","metrics":{"routing_orbit_groups_total":512}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := s2.Format()
+	if !strings.Contains(out2, "512 orbits collapsed\n") || strings.Contains(out2, "family") {
+		t.Fatalf("stage-1 orbit line wrong:\n%s", out2)
+	}
+}
+
 // TestSpanHeartbeatRoundTrip: schema-2 fields survive Emit/Summarize.
 func TestSpanHeartbeatRoundTrip(t *testing.T) {
 	w, path := testWriter(t)
